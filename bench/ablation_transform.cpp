@@ -1,0 +1,75 @@
+// Ablation for the observability transformation (Definition 5).
+//
+// Section 2.1 motivates the transformation with the eventuality anomaly:
+// under a faithful reading of Definition 3, A[p1 U q] can have *zero*
+// coverage because p1 holding at the first q state masks any flip of q.
+// This benchmark contrasts, for a set of eventuality-style properties:
+//
+//   naive        Definition 3 on the original formula (flip q itself),
+//                computed by the explicit-state oracle;
+//   transformed  Definition 3 on φ(f) == the symbolic Table-1 algorithm.
+#include <cstdio>
+#include <vector>
+
+#include "circuits/circuits.h"
+#include "core/coverage.h"
+#include "core/coverage_oracle.h"
+#include "ctl/checker.h"
+#include "fsm/symbolic_fsm.h"
+#include "xstate/explicit_model.h"
+
+namespace {
+
+using namespace covest;
+
+void compare(const char* name, const model::Model& m, const ctl::Formula& f,
+             const std::string& observed) {
+  const auto q = core::observe_bool(m, observed);
+  xstate::ExplicitModel xm(m);
+
+  const auto naive = core::definition3_covered(xm, f, q, false);
+  const auto transformed = core::definition3_covered(xm, f, q, true);
+
+  // Cross-check the transformed oracle against the symbolic algorithm.
+  fsm::SymbolicFsm fsm(m);
+  ctl::ModelChecker mc(fsm);
+  core::CoverageEstimator est(mc);
+  const double symbolic_count = fsm.count_states(est.covered_set(f, q));
+
+  std::size_t reachable = 0;
+  for (std::size_t s = 0; s < xm.num_states(); ++s) {
+    reachable += xm.reachable()[s];
+  }
+  std::printf("%-28s %-10s %9zu %12zu %13zu %10.0f\n", name,
+              observed.c_str(), reachable, naive.covered.size(),
+              transformed.covered.size(), symbolic_count);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== observability transformation ablation ===\n\n");
+  std::printf("%-28s %-10s %9s %12s %13s %10s\n", "model / formula",
+              "observed", "reachable", "naive-Def3", "transformed",
+              "symbolic");
+
+  compare("Figure 2: A[p1 U q]", circuits::make_fig2_graph(),
+          circuits::fig2_formula(), "q");
+  compare("Figure 3: A[f1 U f2]", circuits::make_fig3_graph(),
+          circuits::fig3_formula(), "f2");
+  compare("Figure 1: AG(p1->AX AX q)", circuits::make_fig1_graph(),
+          circuits::fig1_formula(), "q");
+
+  {
+    const circuits::PipelineSpec spec{1, 2};
+    const model::Model m = circuits::make_pipeline(spec);
+    const auto props = circuits::pipeline_properties_initial(spec);
+    compare("pipeline: AF eventuality", m, props[0], "out");
+    compare("pipeline: nested until", m, props[1], "out");
+  }
+
+  std::printf(
+      "\nthe naive column shows the anomaly (0 for pure eventualities); "
+      "the transformed column equals the symbolic Table-1 algorithm.\n");
+  return 0;
+}

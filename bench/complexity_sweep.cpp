@@ -1,0 +1,114 @@
+// The Section-3 complexity claim: "This algorithm is of the same order of
+// complexity as conventional symbolic model checking algorithms... In
+// practice, coverage estimation can be slightly more expensive than the
+// verification in some cases because it requires computing the coverage
+// space as the set of reachable states."
+//
+// Sweeps the counter width and the queue depth, reporting verification
+// time vs coverage-estimation time (and their ratio) as the state space
+// grows — the ratio should stay roughly constant (same order), with
+// coverage paying a reachability premium.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "circuits/circuits.h"
+#include "core/coverage.h"
+#include "ctl/checker.h"
+#include "fsm/symbolic_fsm.h"
+
+namespace {
+
+using namespace covest;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void sweep_row(const char* name, const model::Model& m,
+               const std::vector<ctl::Formula>& props,
+               const std::string& signal) {
+  fsm::SymbolicFsm fsm(m);
+  ctl::ModelChecker checker(fsm);
+
+  const auto t0 = Clock::now();
+  for (const auto& f : props) (void)checker.holds(f);
+  const double verify_ms = ms_since(t0);
+
+  // The one-time reachability the paper singles out: "coverage estimation
+  // can be slightly more expensive ... because it requires computing the
+  // coverage space as the set of reachable states".
+  core::CoverageEstimator estimator(checker);
+  const auto t1 = Clock::now();
+  (void)estimator.coverage_space();
+  const double reach_ms = ms_since(t1);
+
+  const auto t2 = Clock::now();
+  bdd::Bdd covered = fsm.mgr().bdd_false();
+  for (const auto& q : core::observe_all_bits(m, signal)) {
+    covered |= estimator.coverage(props, q).covered;
+  }
+  const double cover_ms = ms_since(t2);
+
+  const double states = fsm.count_states(
+      fsm.reachable(fsm.initial_states()));
+  std::printf("%-24s %12.0f %10.2f %9.2f %10.2f %8.2fx\n", name, states,
+              verify_ms, reach_ms, cover_ms,
+              cover_ms / std::max(verify_ms, 1e-3));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== coverage estimation vs verification cost ===\n\n");
+  std::printf("%-24s %12s %10s %9s %10s %9s\n", "configuration",
+              "reach states", "verify ms", "reach ms", "cover ms", "ratio");
+
+  for (unsigned width = 4; width <= 12; ++width) {
+    const circuits::CounterSpec spec{width, (1ull << width) - 3};
+    // A fixed-size suite (5 properties) so the sweep isolates how the
+    // *algorithm* scales with the state space, not with suite size.
+    const expr::Expr count = expr::Expr::var("count");
+    const expr::Expr stall = expr::Expr::var("stall");
+    const expr::Expr reset = expr::Expr::var("reset");
+    std::vector<ctl::Formula> props;
+    for (std::uint64_t c = 0; c < 3; ++c) {
+      props.push_back(ctl::Formula::AG(
+          ctl::Formula::prop((!stall) & (!reset) &
+                             (count == expr::Expr::word_const(c, width)))
+              .implies(ctl::Formula::AX(ctl::Formula::prop(
+                  count == expr::Expr::word_const(c + 1, width))))));
+    }
+    props.push_back(ctl::Formula::AG(ctl::Formula::prop(reset).implies(
+        ctl::Formula::AX(ctl::Formula::prop(
+            count == expr::Expr::word_const(0, width))))));
+    props.push_back(ctl::Formula::AG(ctl::Formula::prop(
+        count < expr::Expr::word_const(spec.limit, width))));
+    char name[64];
+    std::snprintf(name, sizeof name, "counter width=%u", width);
+    sweep_row(name, circuits::make_mod_counter(spec), props, "count");
+  }
+  std::printf("\n");
+  for (unsigned bits = 2; bits <= 5; ++bits) {
+    const circuits::CircularQueueSpec spec{bits};
+    auto props = circuits::queue_wrap_properties_initial(spec);
+    for (const auto& f : circuits::queue_wrap_properties_additional(spec)) {
+      props.push_back(f);
+    }
+    props.push_back(circuits::queue_wrap_stall_property(spec));
+    char name[64];
+    std::snprintf(name, sizeof name, "queue depth=%u", 1u << bits);
+    sweep_row(name, circuits::make_circular_queue(spec), props, "wrap");
+  }
+
+  std::printf(
+      "\n'cover ms' excludes the one-time reachability ('reach ms'), which "
+      "the paper calls out\nas the extra cost of coverage: the BFS pays the "
+      "model's sequential diameter (2^w steps\nfor a counter), while "
+      "verification's backward fix-points converge in a few steps.\n"
+      "With reachability separated, both columns are fix-point computations "
+      "of the same order.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Regenerates Figures 1-3 of the paper: for each illustrative state
+// graph, prints which states the coverage estimator marks as covered and
+// checks them against the states marked in the figures.
+#include <cstdio>
+#include <string>
+
+#include "circuits/circuits.h"
+#include "core/coverage.h"
+#include "core/coverage_oracle.h"
+#include "ctl/checker.h"
+#include "fsm/symbolic_fsm.h"
+#include "xstate/explicit_model.h"
+
+namespace {
+
+using namespace covest;
+
+void show_covered(const char* figure, const model::Model& m,
+                  const ctl::Formula& f, const std::string& observed,
+                  const char* expectation) {
+  fsm::SymbolicFsm fsm(m);
+  ctl::ModelChecker mc(fsm);
+  core::CoverageEstimator est(mc);
+  const auto q = core::observe_bool(m, observed);
+
+  std::printf("%s: %s, observing '%s'\n", figure, ctl::to_string(f).c_str(),
+              observed.c_str());
+  std::printf("  paper marks: %s\n", expectation);
+  const bdd::Bdd covered = est.covered_set(f, q);
+  std::printf("  covered states (st values):");
+  bool any = false;
+  for (const auto& line : fsm.format_states(covered, 64)) {
+    const auto pos = line.find("st=");
+    std::printf(" %s", line.substr(pos, line.find(' ', pos) - pos).c_str());
+    any = true;
+    break;  // st value repeats per input combination; one sample per set.
+  }
+  // Print the distinct st values properly.
+  std::printf("\n  distinct covered st values: ");
+  const auto& layout = fsm.layout("st");
+  for (std::uint64_t v = 0; v < (1u << layout.current.size()); ++v) {
+    expr::Expr e = expr::Expr::var("st") ==
+                   expr::Expr::word_const(
+                       v, static_cast<unsigned>(layout.current.size()));
+    if (covered.intersects(fsm.blast_bool(e))) std::printf("%llu ",
+        static_cast<unsigned long long>(v));
+  }
+  if (!any) std::printf("(none)");
+  std::printf("\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figures 1-3: covered-state illustrations ===\n\n");
+
+  show_covered("Figure 1", circuits::make_fig1_graph(),
+               circuits::fig1_formula(), "q",
+               "only the state two steps after the p1 state (st=3); "
+               "the other q state (st=4) is NOT covered");
+
+  show_covered("Figure 2 (transformed)", circuits::make_fig2_graph(),
+               circuits::fig2_formula(), "q",
+               "the first state where q is asserted (st=2)");
+
+  // The naive Definition-3 anomaly of Figure 2.
+  {
+    const model::Model m = circuits::make_fig2_graph();
+    xstate::ExplicitModel xm(m);
+    const auto naive = core::definition3_covered(
+        xm, circuits::fig2_formula(), core::observe_bool(m, "q"), false);
+    std::printf("Figure 2 (naive Definition 3, no transformation): "
+                "%zu covered states — the zero-coverage anomaly the "
+                "observability transformation fixes\n\n",
+                naive.covered.size());
+  }
+
+  show_covered("Figure 3 (f1)", circuits::make_fig3_graph(),
+               circuits::fig3_formula(), "f1",
+               "the traverse states: the f1-prefix states 0 1 2 4");
+  show_covered("Figure 3 (f2)", circuits::make_fig3_graph(),
+               circuits::fig3_formula(), "f2",
+               "the firstreached states: the first f2 states 3 5 6");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Circuit 2 of the paper: the circular queue's wrap bit.
+//
+// Replays the Section-5 story: the initial wrap-bit suite reaches ~60%
+// coverage; three additional properties written after inspecting
+// uncovered states raise it but still short of 100%; tracing the
+// remaining holes reveals the corner "stall asserted while the write
+// pointer wraps"; the final stall property closes the gap. The full and
+// empty status signals are fully covered by two properties each.
+#include <cstdio>
+
+#include "circuits/circuits.h"
+#include "core/coverage.h"
+#include "ctl/checker.h"
+#include "fsm/symbolic_fsm.h"
+
+int main() {
+  using namespace covest;
+
+  const circuits::CircularQueueSpec spec{3};  // Depth-8 queue.
+  fsm::SymbolicFsm fsm(circuits::make_circular_queue(spec));
+  ctl::ModelChecker checker(fsm);
+  core::CoverageEstimator estimator(checker);
+  const core::ObservedSignal wrap = core::observe_bool(fsm.model(), "wrap");
+
+  const auto pct = [&](const std::vector<ctl::Formula>& props,
+                       const core::ObservedSignal& q, bdd::Bdd* covered) {
+    const core::SignalCoverage sc = estimator.coverage(props, q);
+    if (covered != nullptr) *covered = sc.covered;
+    return sc.percent;
+  };
+
+  std::printf("=== circular queue: wrap bit coverage ===\n");
+  auto suite = circuits::queue_wrap_properties_initial(spec);
+  std::printf("phase 1 (%zu toggle/clear properties): %6.2f%%   "
+              "(paper: 60.08%%)\n",
+              suite.size(), pct(suite, wrap, nullptr));
+
+  for (const auto& f : circuits::queue_wrap_properties_additional(spec)) {
+    suite.push_back(f);
+  }
+  bdd::Bdd covered;
+  const double phase2 = pct(suite, wrap, &covered);
+  std::printf("phase 2 (+3 hold properties):          %6.2f%%   "
+              "(paper: still short of 100%%)\n", phase2);
+
+  std::printf("\ntracing a remaining uncovered state:\n");
+  if (const auto trace = estimator.trace_to_uncovered(covered)) {
+    std::printf("%s", trace->to_string(fsm).c_str());
+    const auto& last_input = trace->steps[trace->steps.size() - 2].values;
+    std::printf("-> stall=%llu while a pointer wraps: the subtle corner "
+                "the paper describes.\n",
+                static_cast<unsigned long long>(last_input.at("stall")));
+  }
+
+  suite.push_back(circuits::queue_wrap_stall_property(spec));
+  std::printf("\nphase 3 (+ wrap-unchanged-under-stall): %6.2f%%\n",
+              pct(suite, wrap, nullptr));
+
+  std::printf("\n=== status signals ===\n");
+  std::printf("full  (%zu properties): %6.2f%%   (paper: 100.00%%)\n",
+              circuits::queue_full_properties(spec).size(),
+              pct(circuits::queue_full_properties(spec),
+                  core::observe_bool(fsm.model(), "full"), nullptr));
+  std::printf("empty (%zu properties): %6.2f%%   (paper: 100.00%%)\n",
+              circuits::queue_empty_properties(spec).size(),
+              pct(circuits::queue_empty_properties(spec),
+                  core::observe_bool(fsm.model(), "empty"), nullptr));
+  return 0;
+}

@@ -1,0 +1,358 @@
+// Node pool, unique tables, reference counting and garbage collection.
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace covest::bdd {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer; good avalanche for consing keys.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+std::uint64_t hash_pair(NodeIndex low, NodeIndex high) {
+  return mix64((static_cast<std::uint64_t>(low) << 32) | high);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(BddManager* mgr, NodeIndex index) noexcept : mgr_(mgr), index_(index) {
+  if (mgr_ != nullptr) mgr_->ref(index_);
+}
+
+Bdd::Bdd(const Bdd& other) noexcept : mgr_(other.mgr_), index_(other.index_) {
+  if (mgr_ != nullptr) mgr_->ref(index_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), index_(other.index_) {
+  other.mgr_ = nullptr;
+  other.index_ = kInvalidIndex;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) noexcept {
+  if (this == &other) return *this;
+  if (other.mgr_ != nullptr) other.mgr_->ref(other.index_);
+  if (mgr_ != nullptr) mgr_->deref(index_);
+  mgr_ = other.mgr_;
+  index_ = other.index_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (mgr_ != nullptr) mgr_->deref(index_);
+  mgr_ = other.mgr_;
+  index_ = other.index_;
+  other.mgr_ = nullptr;
+  other.index_ = kInvalidIndex;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_ != nullptr) mgr_->deref(index_);
+}
+
+Var Bdd::top_var() const {
+  assert(valid() && !is_terminal());
+  return mgr_->node_var(index_);
+}
+
+Bdd Bdd::low() const {
+  assert(valid() && !is_terminal());
+  return Bdd(mgr_, mgr_->node_low(index_));
+}
+
+Bdd Bdd::high() const {
+  assert(valid() && !is_terminal());
+  return Bdd(mgr_, mgr_->node_high(index_));
+}
+
+Bdd Bdd::operator&(const Bdd& rhs) const { return mgr_->apply_and(*this, rhs); }
+Bdd Bdd::operator|(const Bdd& rhs) const { return mgr_->apply_or(*this, rhs); }
+Bdd Bdd::operator^(const Bdd& rhs) const { return mgr_->apply_xor(*this, rhs); }
+Bdd Bdd::operator!() const { return mgr_->apply_not(*this); }
+Bdd Bdd::operator-(const Bdd& rhs) const {
+  return mgr_->apply_and(*this, mgr_->apply_not(rhs));
+}
+Bdd Bdd::implies(const Bdd& rhs) const {
+  return mgr_->apply_or(mgr_->apply_not(*this), rhs);
+}
+Bdd Bdd::iff(const Bdd& rhs) const {
+  return mgr_->apply_not(mgr_->apply_xor(*this, rhs));
+}
+
+bool Bdd::subset_of(const Bdd& other) const {
+  return (*this - other).is_false();
+}
+
+bool Bdd::intersects(const Bdd& other) const {
+  return !(*this & other).is_false();
+}
+
+Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  return f.manager()->apply_ite(f, g, h);
+}
+
+// ---------------------------------------------------------------------------
+// Manager construction
+// ---------------------------------------------------------------------------
+
+BddManager::BddManager(unsigned initial_vars, std::size_t cache_size_log2) {
+  nodes_.resize(2);
+  ext_refs_.resize(2, 1);  // Terminals are permanently referenced.
+  nodes_[kFalseIndex].var = kInvalidVar;
+  nodes_[kTrueIndex].var = kInvalidVar;
+  cache_.resize(std::size_t{1} << cache_size_log2);
+  cache_mask_ = cache_.size() - 1;
+  gc_threshold_ = 1u << 16;
+  for (unsigned i = 0; i < initial_vars; ++i) new_var();
+}
+
+BddManager::~BddManager() = default;
+
+Var BddManager::new_var(std::string name) {
+  const Var v = static_cast<Var>(var_to_level_.size());
+  var_to_level_.push_back(static_cast<unsigned>(level_to_var_.size()));
+  level_to_var_.push_back(v);
+  if (name.empty()) name = "v" + std::to_string(v);
+  var_names_.push_back(std::move(name));
+  Subtable st;
+  st.buckets.assign(64, kInvalidIndex);
+  subtables_.push_back(std::move(st));
+  return v;
+}
+
+Bdd BddManager::var(Var v) {
+  return Bdd(this, make_node(v, kFalseIndex, kTrueIndex));
+}
+
+Bdd BddManager::nvar(Var v) {
+  return Bdd(this, make_node(v, kTrueIndex, kFalseIndex));
+}
+
+Bdd BddManager::cube(const std::vector<Var>& vars) {
+  Bdd result = bdd_true();
+  // Build bottom-up (deepest level first) so each make_node is O(1).
+  std::vector<Var> sorted = vars;
+  std::sort(sorted.begin(), sorted.end(), [this](Var a, Var b) {
+    return var_to_level_[a] > var_to_level_[b];
+  });
+  for (Var v : sorted) {
+    result = Bdd(this, make_node(v, kFalseIndex, result.index()));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Unique tables and node allocation
+// ---------------------------------------------------------------------------
+
+std::size_t BddManager::subtable_bucket(Var v, NodeIndex low,
+                                        NodeIndex high) const {
+  const Subtable& st = subtables_[v];
+  return hash_pair(low, high) & (st.buckets.size() - 1);
+}
+
+NodeIndex BddManager::make_node(Var v, NodeIndex low, NodeIndex high) {
+  if (low == high) return low;
+  Subtable& st = subtables_[v];
+  const std::size_t bucket = subtable_bucket(v, low, high);
+  for (NodeIndex n = st.buckets[bucket]; n != kInvalidIndex;
+       n = nodes_[n].next) {
+    if (nodes_[n].low == low && nodes_[n].high == high) {
+      ++stats_.unique_hits;
+      return n;
+    }
+  }
+  ++stats_.unique_misses;
+  const NodeIndex n = allocate_node();
+  Node& node = nodes_[n];
+  node.var = v;
+  node.low = low;
+  node.high = high;
+  node.next = st.buckets[bucket];
+  st.buckets[bucket] = n;
+  ++st.count;
+  maybe_resize_subtable(v);
+  return n;
+}
+
+NodeIndex BddManager::allocate_node() {
+  if (free_head_ != kInvalidIndex) {
+    const NodeIndex n = free_head_;
+    free_head_ = nodes_[n].next;
+    --free_count_;
+    ext_refs_[n] = 0;
+    return n;
+  }
+  nodes_.emplace_back();
+  ext_refs_.push_back(0);
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+void BddManager::maybe_resize_subtable(Var v) {
+  Subtable& st = subtables_[v];
+  if (st.count < st.buckets.size()) return;
+  std::vector<NodeIndex> old = std::move(st.buckets);
+  st.buckets.assign(old.size() * 2, kInvalidIndex);
+  for (NodeIndex head : old) {
+    for (NodeIndex n = head; n != kInvalidIndex;) {
+      const NodeIndex next = nodes_[n].next;
+      const std::size_t b = subtable_bucket(v, nodes_[n].low, nodes_[n].high);
+      nodes_[n].next = st.buckets[b];
+      st.buckets[b] = n;
+      n = next;
+    }
+  }
+}
+
+void BddManager::subtable_insert(Var v, NodeIndex n) {
+  Subtable& st = subtables_[v];
+  const std::size_t b = subtable_bucket(v, nodes_[n].low, nodes_[n].high);
+  nodes_[n].next = st.buckets[b];
+  st.buckets[b] = n;
+  ++st.count;
+}
+
+void BddManager::subtable_remove(Var v, NodeIndex n) {
+  Subtable& st = subtables_[v];
+  const std::size_t b = subtable_bucket(v, nodes_[n].low, nodes_[n].high);
+  NodeIndex* link = &st.buckets[b];
+  while (*link != kInvalidIndex) {
+    if (*link == n) {
+      *link = nodes_[n].next;
+      --st.count;
+      return;
+    }
+    link = &nodes_[*link].next;
+  }
+  assert(false && "node missing from its subtable");
+}
+
+// ---------------------------------------------------------------------------
+// Reference counting and garbage collection
+// ---------------------------------------------------------------------------
+
+void BddManager::ref(NodeIndex n) noexcept { ++ext_refs_[n]; }
+
+void BddManager::deref(NodeIndex n) noexcept {
+  assert(ext_refs_[n] > 0);
+  --ext_refs_[n];
+}
+
+void BddManager::mark(NodeIndex n, std::vector<bool>& marked) const {
+  // Iterative DFS; BDDs for deep fixpoints can exceed the call stack.
+  std::vector<NodeIndex> stack{n};
+  while (!stack.empty()) {
+    const NodeIndex cur = stack.back();
+    stack.pop_back();
+    if (marked[cur]) continue;
+    marked[cur] = true;
+    if (cur > kTrueIndex) {
+      stack.push_back(nodes_[cur].low);
+      stack.push_back(nodes_[cur].high);
+    }
+  }
+}
+
+std::size_t BddManager::gc() {
+  assert(!in_operation_ && "GC must not run inside a BDD operation");
+  std::vector<bool> marked(nodes_.size(), false);
+  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
+    if (ext_refs_[n] > 0 && nodes_[n].var != kInvalidVar) mark(n, marked);
+  }
+  marked[kFalseIndex] = marked[kTrueIndex] = true;
+
+  std::size_t freed = 0;
+  for (NodeIndex n = 2; n < nodes_.size(); ++n) {
+    if (marked[n] || nodes_[n].var == kInvalidVar) continue;
+    subtable_remove(nodes_[n].var, n);
+    nodes_[n].var = kInvalidVar;
+    nodes_[n].low = kInvalidIndex;
+    nodes_[n].high = kInvalidIndex;
+    nodes_[n].next = free_head_;
+    free_head_ = n;
+    ++free_count_;
+    ++freed;
+  }
+  clear_cache();
+  ++stats_.gc_runs;
+  return freed;
+}
+
+void BddManager::maybe_gc() {
+  if (in_operation_) return;
+  const std::size_t live_estimate = nodes_.size() - 2 - free_count_;
+  if (live_estimate < gc_threshold_) return;
+  gc();
+  const std::size_t live = nodes_.size() - 2 - free_count_;
+  if (live * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
+}
+
+void BddManager::clear_cache() {
+  for (CacheEntry& e : cache_) e.op = 0;
+}
+
+std::size_t BddManager::live_node_count() {
+  std::vector<bool> marked(nodes_.size(), false);
+  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
+    if (ext_refs_[n] > 0 && nodes_[n].var != kInvalidVar) mark(n, marked);
+  }
+  std::size_t live = 0;
+  for (NodeIndex n = 2; n < nodes_.size(); ++n) {
+    if (marked[n]) ++live;
+  }
+  stats_.live_nodes = live;
+  if (live > stats_.peak_live_nodes) stats_.peak_live_nodes = live;
+  return live;
+}
+
+// ---------------------------------------------------------------------------
+// Computed cache
+// ---------------------------------------------------------------------------
+
+BddManager::CacheEntry& BddManager::cache_slot(std::uint32_t op, NodeIndex a,
+                                               NodeIndex b, NodeIndex c) {
+  const std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(op) << 48) ^
+            (static_cast<std::uint64_t>(a) << 32) ^
+            (static_cast<std::uint64_t>(b) << 16) ^ c);
+  return cache_[h & cache_mask_];
+}
+
+bool BddManager::cache_find(std::uint32_t op, NodeIndex a, NodeIndex b,
+                            NodeIndex c, NodeIndex* out) {
+  ++stats_.cache_lookups;
+  const CacheEntry& e = cache_slot(op, a, b, c);
+  if (e.op == op && e.a == a && e.b == b && e.c == c) {
+    ++stats_.cache_hits;
+    *out = e.result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cache_store(std::uint32_t op, NodeIndex a, NodeIndex b,
+                             NodeIndex c, NodeIndex result) {
+  CacheEntry& e = cache_slot(op, a, b, c);
+  e.op = op;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  e.result = result;
+}
+
+}  // namespace covest::bdd

@@ -1,0 +1,368 @@
+// Shared reduced-ordered binary decision diagrams (ROBDDs).
+//
+// This is the symbolic substrate for the whole library: the transition
+// relations, state sets and coverage sets of the paper are all BDDs
+// managed by the `BddManager` defined here.
+//
+// The design follows the classic shared-BDD packages (Bryant '86, CUDD,
+// BuDDy): a single node pool with hash-consed nodes, one unique subtable
+// per variable (which makes adjacent-level swaps local, enabling sifting
+// reordering), a lossy computed-table cache for the recursive operations,
+// and mark-and-sweep garbage collection rooted at RAII `Bdd` handles.
+//
+// Thread safety: a `BddManager` and all `Bdd` handles attached to it must
+// be used from a single thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace covest::bdd {
+
+/// Identifies a BDD variable. Variables are created by `BddManager::new_var`
+/// and are dense, starting at 0.
+using Var = std::uint32_t;
+
+/// Index of a node in the manager's node pool. 0 and 1 are the terminals.
+using NodeIndex = std::uint32_t;
+
+inline constexpr NodeIndex kFalseIndex = 0;
+inline constexpr NodeIndex kTrueIndex = 1;
+inline constexpr NodeIndex kInvalidIndex = 0xffffffffu;
+inline constexpr Var kInvalidVar = 0xffffffffu;
+
+class BddManager;
+
+/// RAII handle to a BDD node. While at least one `Bdd` references a node,
+/// that node and all its descendants survive garbage collection.
+///
+/// Handles are value types: cheap to copy (a pointer and an index plus a
+/// reference-count update) and comparable in O(1) thanks to canonicity —
+/// two handles are semantically equal iff they hold the same index.
+class Bdd {
+ public:
+  /// Detached handle; usable only as an assignment target.
+  Bdd() noexcept : mgr_(nullptr), index_(kInvalidIndex) {}
+  Bdd(const Bdd& other) noexcept;
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other) noexcept;
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  /// True when the handle is attached to a manager.
+  bool valid() const noexcept { return mgr_ != nullptr; }
+
+  bool is_false() const noexcept { return index_ == kFalseIndex; }
+  bool is_true() const noexcept { return index_ == kTrueIndex; }
+  bool is_terminal() const noexcept { return index_ <= kTrueIndex; }
+
+  /// Variable labelling the root node. Precondition: not a terminal.
+  Var top_var() const;
+  /// Negative cofactor w.r.t. the root variable. Precondition: not terminal.
+  Bdd low() const;
+  /// Positive cofactor w.r.t. the root variable. Precondition: not terminal.
+  Bdd high() const;
+
+  NodeIndex index() const noexcept { return index_; }
+  BddManager* manager() const noexcept { return mgr_; }
+
+  // Boolean connectives. All operands must belong to the same manager.
+  Bdd operator&(const Bdd& rhs) const;
+  Bdd operator|(const Bdd& rhs) const;
+  Bdd operator^(const Bdd& rhs) const;
+  Bdd operator!() const;
+  /// Set difference / inhibition: `this & !rhs`.
+  Bdd operator-(const Bdd& rhs) const;
+  Bdd implies(const Bdd& rhs) const;
+  Bdd iff(const Bdd& rhs) const;
+
+  Bdd& operator&=(const Bdd& rhs) { return *this = *this & rhs; }
+  Bdd& operator|=(const Bdd& rhs) { return *this = *this | rhs; }
+  Bdd& operator^=(const Bdd& rhs) { return *this = *this ^ rhs; }
+  Bdd& operator-=(const Bdd& rhs) { return *this = *this - rhs; }
+
+  /// Canonical equality: same function iff same node.
+  bool operator==(const Bdd& rhs) const noexcept {
+    return mgr_ == rhs.mgr_ && index_ == rhs.index_;
+  }
+  bool operator!=(const Bdd& rhs) const noexcept { return !(*this == rhs); }
+
+  /// True when `this -> other` is a tautology (subset test on state sets).
+  bool subset_of(const Bdd& other) const;
+  /// True when `this & other` is satisfiable (set intersection non-empty).
+  bool intersects(const Bdd& other) const;
+
+ private:
+  friend class BddManager;
+  Bdd(BddManager* mgr, NodeIndex index) noexcept;
+
+  BddManager* mgr_;
+  NodeIndex index_;
+};
+
+/// If-then-else on BDDs: `ite(f, g, h) = (f & g) | (!f & h)`.
+Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+
+/// Statistics snapshot for reporting (the paper reports BDD node counts
+/// alongside run times in Table 2).
+struct BddStats {
+  std::size_t live_nodes = 0;       ///< Nodes reachable from live handles.
+  std::size_t allocated_nodes = 0;  ///< Pool size including free-list nodes.
+  std::size_t peak_live_nodes = 0;  ///< High-water mark of `live_nodes`.
+  std::size_t gc_runs = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_lookups = 0;
+  std::size_t unique_hits = 0;      ///< make_node found an existing node.
+  std::size_t unique_misses = 0;    ///< make_node created a new node.
+  std::size_t reorderings = 0;
+};
+
+/// Owns the node pool, unique tables, computed cache and variable order.
+class BddManager {
+ public:
+  /// Creates a manager with `initial_vars` anonymous variables.
+  explicit BddManager(unsigned initial_vars = 0,
+                      std::size_t cache_size_log2 = 18);
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  // -- Variables ------------------------------------------------------------
+
+  /// Creates a fresh variable at the bottom of the current order.
+  Var new_var(std::string name = {});
+  std::size_t num_vars() const noexcept { return var_to_level_.size(); }
+  const std::string& var_name(Var v) const { return var_names_.at(v); }
+  void set_var_name(Var v, std::string name) {
+    var_names_.at(v) = std::move(name);
+  }
+
+  /// Current level (position in the order, 0 = top) of a variable.
+  unsigned level_of(Var v) const { return var_to_level_.at(v); }
+  /// Variable currently sitting at `level`.
+  Var var_at_level(unsigned level) const { return level_to_var_.at(level); }
+
+  // -- Leaf / literal constructors -------------------------------------------
+
+  Bdd bdd_true() { return Bdd(this, kTrueIndex); }
+  Bdd bdd_false() { return Bdd(this, kFalseIndex); }
+  /// Positive literal for variable `v`.
+  Bdd var(Var v);
+  /// Negative literal for variable `v`.
+  Bdd nvar(Var v);
+  /// Literal with the given polarity.
+  Bdd literal(Var v, bool positive) { return positive ? var(v) : nvar(v); }
+
+  /// Conjunction of positive literals; the canonical representation of a
+  /// set of variables used by the quantification operations.
+  Bdd cube(const std::vector<Var>& vars);
+
+  // -- Core operations --------------------------------------------------------
+
+  Bdd apply_and(const Bdd& f, const Bdd& g);
+  Bdd apply_or(const Bdd& f, const Bdd& g);
+  Bdd apply_xor(const Bdd& f, const Bdd& g);
+  Bdd apply_not(const Bdd& f);
+  Bdd apply_ite(const Bdd& f, const Bdd& g, const Bdd& h);
+
+  /// Existential quantification over the variables of `cube`.
+  Bdd exists(const Bdd& f, const Bdd& cube);
+  /// Universal quantification over the variables of `cube`.
+  Bdd forall(const Bdd& f, const Bdd& cube);
+  /// Relational product `exists(cube, f & g)` computed in one pass — the
+  /// workhorse of symbolic image computation.
+  Bdd and_exists(const Bdd& f, const Bdd& g, const Bdd& cube);
+
+  /// Functional composition: `f` with variable `v` replaced by function `g`.
+  Bdd compose(const Bdd& f, Var v, const Bdd& g);
+
+  /// Simultaneous variable renaming. `perm[v]` is the replacement for `v`;
+  /// identity entries may be omitted by passing `perm.size() < num_vars()`.
+  /// The mapping must be injective on the support of `f` and must not
+  /// reorder levels in a way that mixes mapped and unmapped support.
+  /// (Renaming between interleaved current/next state variables — the only
+  /// use in this library — always satisfies this.)
+  Bdd permute(const Bdd& f, const std::vector<Var>& perm);
+
+  /// Positive (`value = true`) or negative cofactor w.r.t. one variable.
+  Bdd cofactor(const Bdd& f, Var v, bool value);
+
+  /// Coudert-Madre generalized cofactor ("restrict"): a function that
+  /// agrees with `f` on the care set `care` and is usually smaller:
+  /// `simplify(f, care) & care == f & care`. Used to shrink state-set
+  /// BDDs against the reachable/coverage space. `care` must not be false.
+  Bdd simplify(const Bdd& f, const Bdd& care);
+
+  // -- Inspection --------------------------------------------------------------
+
+  /// Number of satisfying assignments of `f` over exactly the variables in
+  /// `over` (which must be a superset of `f`'s support). Exact for counts
+  /// up to 2^53; the coverage metric divides two such counts.
+  double sat_count(const Bdd& f, const std::vector<Var>& over);
+
+  /// Some satisfying cube of `f` (ordered literals), empty iff `f` is false.
+  std::vector<std::pair<Var, bool>> sat_one(const Bdd& f);
+
+  /// A full deterministic assignment to `over` satisfying `f`
+  /// (unconstrained variables default to false). Precondition: `f` is
+  /// satisfiable and its support is contained in `over`.
+  std::vector<std::pair<Var, bool>> pick_minterm(const Bdd& f,
+                                                 const std::vector<Var>& over);
+
+  /// Enumerates up to `limit` minterms of `f` over `over`, in lexicographic
+  /// order of the variable levels. Intended for the uncovered-state report.
+  std::vector<std::vector<std::pair<Var, bool>>> enumerate_minterms(
+      const Bdd& f, const std::vector<Var>& over, std::size_t limit);
+
+  /// Evaluates `f` under a complete assignment indexed by variable id.
+  bool eval(const Bdd& f, const std::vector<bool>& assignment);
+
+  /// Variables occurring in `f`, sorted by id.
+  std::vector<Var> support(const Bdd& f);
+
+  /// Number of distinct nodes in `f` (terminals excluded).
+  std::size_t node_count(const Bdd& f);
+  /// Number of distinct nodes in the union of the given functions.
+  std::size_t node_count(const std::vector<Bdd>& fs);
+
+  // -- Memory management ---------------------------------------------------------
+
+  /// Mark-and-sweep collection rooted at live handles. Invalidates nothing
+  /// that is still referenced. Returns the number of nodes freed.
+  std::size_t gc();
+
+  /// Grows/shrinks nothing but clears the computed cache; exposed mainly
+  /// for benchmarking cold-cache behaviour.
+  void clear_cache();
+
+  // -- Dynamic variable reordering ------------------------------------------------
+
+  /// Swaps the variables at `level` and `level + 1`. The functions of all
+  /// externally held handles are preserved. Exposed for testing; normal
+  /// clients call `reorder_sift`.
+  void swap_adjacent_levels(unsigned level);
+
+  /// Rudin-style sifting: each variable (most populous subtable first) is
+  /// moved through the whole order and parked at the position minimising
+  /// the live node count. `max_vars` bounds how many variables are sifted
+  /// (0 = all). Returns the live node count after reordering.
+  std::size_t reorder_sift(std::size_t max_vars = 0);
+
+  /// Installs `order` (a permutation of all variable ids, top first) by
+  /// repeated adjacent swaps. Intended for tests and deterministic layouts.
+  void set_order(const std::vector<Var>& order);
+
+  // -- Diagnostics -------------------------------------------------------------------
+
+  const BddStats& stats() const noexcept { return stats_; }
+  /// Live node count right now (runs no GC; counts reachable nodes).
+  std::size_t live_node_count();
+
+  /// Writes `f` in Graphviz DOT format (solid = high edge, dashed = low).
+  void write_dot(std::ostream& os, const Bdd& f, const std::string& label);
+
+  // Internal node accessors used by the free algorithms in this library.
+  Var node_var(NodeIndex n) const { return nodes_[n].var; }
+  NodeIndex node_low(NodeIndex n) const { return nodes_[n].low; }
+  NodeIndex node_high(NodeIndex n) const { return nodes_[n].high; }
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    NodeIndex low = kInvalidIndex;
+    NodeIndex high = kInvalidIndex;
+    Var var = kInvalidVar;
+    NodeIndex next = kInvalidIndex;  ///< Unique-subtable chain link.
+  };
+
+  struct Subtable {
+    std::vector<NodeIndex> buckets;
+    std::size_t count = 0;  ///< Nodes currently labelled with this variable.
+  };
+
+  struct CacheEntry {
+    std::uint32_t op = 0;  ///< 0 = empty slot.
+    NodeIndex a = 0, b = 0, c = 0;
+    NodeIndex result = 0;
+  };
+
+  enum Op : std::uint32_t {
+    kOpAnd = 1,
+    kOpOr,
+    kOpXor,
+    kOpNot,
+    kOpIte,
+    kOpExists,
+    kOpForall,
+    kOpAndExists,
+    kOpCompose,
+    kOpSimplify,
+  };
+
+  // Node pool plumbing.
+  NodeIndex make_node(Var v, NodeIndex low, NodeIndex high);
+  NodeIndex allocate_node();
+  void subtable_insert(Var v, NodeIndex n);
+  void subtable_remove(Var v, NodeIndex n);
+  std::size_t subtable_bucket(Var v, NodeIndex low, NodeIndex high) const;
+  void maybe_resize_subtable(Var v);
+  void maybe_gc();
+
+  unsigned level(NodeIndex n) const {
+    return nodes_[n].var == kInvalidVar ? kTerminalLevel
+                                        : var_to_level_[nodes_[n].var];
+  }
+  static constexpr unsigned kTerminalLevel = 0xffffffffu;
+
+  // Reference counting for handles.
+  void ref(NodeIndex n) noexcept;
+  void deref(NodeIndex n) noexcept;
+
+  // Computed cache.
+  CacheEntry& cache_slot(std::uint32_t op, NodeIndex a, NodeIndex b,
+                         NodeIndex c);
+  bool cache_find(std::uint32_t op, NodeIndex a, NodeIndex b, NodeIndex c,
+                  NodeIndex* out);
+  void cache_store(std::uint32_t op, NodeIndex a, NodeIndex b, NodeIndex c,
+                   NodeIndex result);
+
+  // Recursive cores (operate on indices; callers hold handle roots).
+  NodeIndex ite_rec(NodeIndex f, NodeIndex g, NodeIndex h);
+  NodeIndex apply_rec(std::uint32_t op, NodeIndex f, NodeIndex g);
+  NodeIndex not_rec(NodeIndex f);
+  NodeIndex quant_rec(std::uint32_t op, NodeIndex f, NodeIndex cube);
+  NodeIndex and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube);
+  NodeIndex compose_rec(NodeIndex f, Var v, NodeIndex g, unsigned v_level);
+  NodeIndex simplify_rec(NodeIndex f, NodeIndex care);
+  NodeIndex permute_rec(NodeIndex f, const std::vector<Var>& perm,
+                        std::unordered_map<NodeIndex, NodeIndex>& memo);
+
+  double sat_count_rec(NodeIndex n, const std::vector<unsigned>& level_pos,
+                       std::unordered_map<NodeIndex, double>& memo);
+
+  void mark(NodeIndex n, std::vector<bool>& marked) const;
+  std::size_t sift_var_to(Var v, unsigned target_level);
+
+  // Data members.
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> ext_refs_;
+  std::vector<Subtable> subtables_;
+  std::vector<unsigned> var_to_level_;
+  std::vector<Var> level_to_var_;
+  std::vector<std::string> var_names_;
+  std::vector<CacheEntry> cache_;
+  std::size_t cache_mask_;
+  NodeIndex free_head_ = kInvalidIndex;
+  std::size_t free_count_ = 0;
+  std::size_t gc_threshold_;
+  bool in_operation_ = false;  ///< Guards against GC during recursion.
+  BddStats stats_;
+};
+
+}  // namespace covest::bdd

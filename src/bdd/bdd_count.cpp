@@ -1,0 +1,192 @@
+// Model counting, minterm extraction and structural inspection.
+//
+// The coverage metric of the paper (Definition 4) is a ratio of two model
+// counts over the state variables: |covered| / |reachable|.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "bdd/bdd.h"
+
+namespace covest::bdd {
+
+double BddManager::sat_count_rec(NodeIndex n,
+                                 const std::vector<unsigned>& level_pos,
+                                 std::unordered_map<NodeIndex, double>& memo) {
+  if (n == kFalseIndex) return 0.0;
+  if (n == kTrueIndex) return 1.0;
+  auto it = memo.find(n);
+  if (it != memo.end()) return it->second;
+
+  const unsigned pos = level_pos[level(n)];
+  const auto child_pos = [&](NodeIndex c) -> unsigned {
+    return c <= kTrueIndex ? static_cast<unsigned>(level_pos.back())
+                           : level_pos[level(c)];
+  };
+  const double low = sat_count_rec(nodes_[n].low, level_pos, memo) *
+                     std::exp2(child_pos(nodes_[n].low) - pos - 1);
+  const double high = sat_count_rec(nodes_[n].high, level_pos, memo) *
+                      std::exp2(child_pos(nodes_[n].high) - pos - 1);
+  const double result = low + high;
+  memo.emplace(n, result);
+  return result;
+}
+
+double BddManager::sat_count(const Bdd& f, const std::vector<Var>& over) {
+  assert(f.manager() == this);
+  // level_pos[level] = rank of that level among the counted variables;
+  // the last element holds the total rank used for terminals.
+  std::vector<unsigned> levels;
+  levels.reserve(over.size());
+  for (Var v : over) levels.push_back(var_to_level_[v]);
+  std::sort(levels.begin(), levels.end());
+
+  std::vector<unsigned> level_pos(level_to_var_.size() + 1, 0xffffffffu);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    level_pos[levels[i]] = static_cast<unsigned>(i);
+  }
+  level_pos.back() = static_cast<unsigned>(levels.size());
+
+#ifndef NDEBUG
+  for (Var v : support(f)) {
+    assert(level_pos[var_to_level_[v]] != 0xffffffffu &&
+           "sat_count: support must be contained in the counted variables");
+  }
+#endif
+
+  if (f.is_false()) return 0.0;
+  if (f.is_true()) return std::exp2(static_cast<double>(levels.size()));
+
+  std::unordered_map<NodeIndex, double> memo;
+  const double below = sat_count_rec(f.index(), level_pos, memo);
+  return below * std::exp2(level_pos[level(f.index())]);
+}
+
+std::vector<std::pair<Var, bool>> BddManager::sat_one(const Bdd& f) {
+  assert(f.manager() == this);
+  std::vector<std::pair<Var, bool>> result;
+  NodeIndex n = f.index();
+  while (n > kTrueIndex) {
+    if (nodes_[n].low != kFalseIndex) {
+      result.emplace_back(nodes_[n].var, false);
+      n = nodes_[n].low;
+    } else {
+      result.emplace_back(nodes_[n].var, true);
+      n = nodes_[n].high;
+    }
+  }
+  if (n == kFalseIndex) return {};
+  return result;
+}
+
+std::vector<std::pair<Var, bool>> BddManager::pick_minterm(
+    const Bdd& f, const std::vector<Var>& over) {
+  assert(f.manager() == this && !f.is_false());
+  // Walk one satisfying path, then default every unconstrained variable
+  // to false so the result is a deterministic full assignment.
+  std::vector<std::pair<Var, bool>> path = sat_one(f);
+  std::vector<char> seen_value(num_vars(), -1);
+  for (const auto& [v, val] : path) seen_value[v] = val ? 1 : 0;
+
+  std::vector<std::pair<Var, bool>> result;
+  result.reserve(over.size());
+  for (Var v : over) {
+    result.emplace_back(v, seen_value[v] == 1);
+  }
+  return result;
+}
+
+std::vector<std::vector<std::pair<Var, bool>>> BddManager::enumerate_minterms(
+    const Bdd& f, const std::vector<Var>& over, std::size_t limit) {
+  assert(f.manager() == this);
+  std::vector<Var> by_level = over;
+  std::sort(by_level.begin(), by_level.end(), [this](Var a, Var b) {
+    return var_to_level_[a] < var_to_level_[b];
+  });
+
+  std::vector<std::vector<std::pair<Var, bool>>> out;
+  std::vector<std::pair<Var, bool>> current;
+
+  // DFS over the variable list; gap variables (not in f's support on this
+  // path) branch both ways, so enumeration is exhaustive over `over`.
+  auto rec = [&](auto&& self, NodeIndex n, std::size_t i) -> bool {
+    if (n == kFalseIndex) return true;
+    if (i == by_level.size()) {
+      assert(n == kTrueIndex);
+      out.push_back(current);
+      return out.size() < limit;
+    }
+    const Var v = by_level[i];
+    const bool at_var = n > kTrueIndex && nodes_[n].var == v;
+    for (bool value : {false, true}) {
+      const NodeIndex child =
+          at_var ? (value ? nodes_[n].high : nodes_[n].low) : n;
+      current.emplace_back(v, value);
+      const bool keep_going = self(self, child, i + 1);
+      current.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  rec(rec, f.index(), 0);
+  return out;
+}
+
+bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
+  assert(f.manager() == this);
+  NodeIndex n = f.index();
+  while (n > kTrueIndex) {
+    const Var v = nodes_[n].var;
+    assert(v < assignment.size());
+    n = assignment[v] ? nodes_[n].high : nodes_[n].low;
+  }
+  return n == kTrueIndex;
+}
+
+std::vector<Var> BddManager::support(const Bdd& f) {
+  assert(f.manager() == this);
+  std::vector<bool> in_support(num_vars(), false);
+  std::vector<bool> visited(nodes_.size(), false);
+  std::vector<NodeIndex> stack{f.index()};
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (n <= kTrueIndex || visited[n]) continue;
+    visited[n] = true;
+    in_support[nodes_[n].var] = true;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  std::vector<Var> result;
+  for (Var v = 0; v < in_support.size(); ++v) {
+    if (in_support[v]) result.push_back(v);
+  }
+  return result;
+}
+
+std::size_t BddManager::node_count(const Bdd& f) {
+  return node_count(std::vector<Bdd>{f});
+}
+
+std::size_t BddManager::node_count(const std::vector<Bdd>& fs) {
+  std::vector<bool> visited(nodes_.size(), false);
+  std::size_t count = 0;
+  std::vector<NodeIndex> stack;
+  for (const Bdd& f : fs) {
+    assert(f.manager() == this);
+    stack.push_back(f.index());
+  }
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (n <= kTrueIndex || visited[n]) continue;
+    visited[n] = true;
+    ++count;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return count;
+}
+
+}  // namespace covest::bdd

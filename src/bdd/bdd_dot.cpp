@@ -1,0 +1,42 @@
+// Graphviz DOT export for debugging and documentation.
+#include <ostream>
+#include <unordered_set>
+#include <vector>
+
+#include "bdd/bdd.h"
+
+namespace covest::bdd {
+
+void BddManager::write_dot(std::ostream& os, const Bdd& f,
+                           const std::string& label) {
+  os << "digraph bdd {\n";
+  os << "  label=\"" << label << "\";\n";
+  os << "  node [shape=circle];\n";
+  os << "  t0 [shape=box, label=\"0\"];\n";
+  os << "  t1 [shape=box, label=\"1\"];\n";
+
+  std::unordered_set<NodeIndex> visited;
+  std::vector<NodeIndex> stack{f.index()};
+  auto node_name = [](NodeIndex n) {
+    if (n == kFalseIndex) return std::string("t0");
+    if (n == kTrueIndex) return std::string("t1");
+    return "n" + std::to_string(n);
+  };
+  while (!stack.empty()) {
+    const NodeIndex n = stack.back();
+    stack.pop_back();
+    if (n <= kTrueIndex || visited.count(n) != 0) continue;
+    visited.insert(n);
+    os << "  " << node_name(n) << " [label=\"" << var_names_[nodes_[n].var]
+       << "\"];\n";
+    os << "  " << node_name(n) << " -> " << node_name(nodes_[n].low)
+       << " [style=dashed];\n";
+    os << "  " << node_name(n) << " -> " << node_name(nodes_[n].high)
+       << ";\n";
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  os << "}\n";
+}
+
+}  // namespace covest::bdd

@@ -1,0 +1,362 @@
+// Recursive BDD algorithms: ITE, binary apply, quantification, relational
+// product, composition and renaming.
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "bdd/bdd.h"
+
+namespace covest::bdd {
+
+namespace {
+
+// Marks the manager as busy for the duration of a (possibly re-entrant)
+// public operation; garbage collection only triggers between operations,
+// so unreferenced intermediate results created during recursion are safe.
+class OperationGuard {
+ public:
+  OperationGuard(bool& flag) : flag_(flag), was_(flag) { flag_ = true; }
+  ~OperationGuard() { flag_ = was_; }
+
+ private:
+  bool& flag_;
+  bool was_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ITE
+// ---------------------------------------------------------------------------
+
+NodeIndex BddManager::ite_rec(NodeIndex f, NodeIndex g, NodeIndex h) {
+  if (f == kTrueIndex) return g;
+  if (f == kFalseIndex) return h;
+  if (g == h) return g;
+  if (g == kTrueIndex && h == kFalseIndex) return f;
+
+  NodeIndex cached;
+  if (cache_find(kOpIte, f, g, h, &cached)) return cached;
+
+  const unsigned lf = level(f), lg = level(g), lh = level(h);
+  const unsigned top = std::min(lf, std::min(lg, lh));
+  const Var v = level_to_var_[top];
+
+  const NodeIndex f0 = lf == top ? nodes_[f].low : f;
+  const NodeIndex f1 = lf == top ? nodes_[f].high : f;
+  const NodeIndex g0 = lg == top ? nodes_[g].low : g;
+  const NodeIndex g1 = lg == top ? nodes_[g].high : g;
+  const NodeIndex h0 = lh == top ? nodes_[h].low : h;
+  const NodeIndex h1 = lh == top ? nodes_[h].high : h;
+
+  const NodeIndex low = ite_rec(f0, g0, h0);
+  const NodeIndex high = ite_rec(f1, g1, h1);
+  const NodeIndex result = make_node(v, low, high);
+  cache_store(kOpIte, f, g, h, result);
+  return result;
+}
+
+Bdd BddManager::apply_ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  assert(f.manager() == this && g.manager() == this && h.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, ite_rec(f.index(), g.index(), h.index()));
+}
+
+// ---------------------------------------------------------------------------
+// Binary apply and negation
+// ---------------------------------------------------------------------------
+
+NodeIndex BddManager::apply_rec(std::uint32_t op, NodeIndex f, NodeIndex g) {
+  // Terminal rules per operator.
+  switch (op) {
+    case kOpAnd:
+      if (f == kFalseIndex || g == kFalseIndex) return kFalseIndex;
+      if (f == kTrueIndex) return g;
+      if (g == kTrueIndex) return f;
+      if (f == g) return f;
+      break;
+    case kOpOr:
+      if (f == kTrueIndex || g == kTrueIndex) return kTrueIndex;
+      if (f == kFalseIndex) return g;
+      if (g == kFalseIndex) return f;
+      if (f == g) return f;
+      break;
+    case kOpXor:
+      if (f == kFalseIndex) return g;
+      if (g == kFalseIndex) return f;
+      if (f == g) return kFalseIndex;
+      if (f == kTrueIndex) return not_rec(g);
+      if (g == kTrueIndex) return not_rec(f);
+      break;
+    default:
+      assert(false && "unknown binary op");
+  }
+
+  // Commutative ops: normalize operand order to double cache hits.
+  if (f > g) std::swap(f, g);
+
+  NodeIndex cached;
+  if (cache_find(op, f, g, 0, &cached)) return cached;
+
+  const unsigned lf = level(f), lg = level(g);
+  const unsigned top = std::min(lf, lg);
+  const Var v = level_to_var_[top];
+
+  const NodeIndex f0 = lf == top ? nodes_[f].low : f;
+  const NodeIndex f1 = lf == top ? nodes_[f].high : f;
+  const NodeIndex g0 = lg == top ? nodes_[g].low : g;
+  const NodeIndex g1 = lg == top ? nodes_[g].high : g;
+
+  const NodeIndex low = apply_rec(op, f0, g0);
+  const NodeIndex high = apply_rec(op, f1, g1);
+  const NodeIndex result = make_node(v, low, high);
+  cache_store(op, f, g, 0, result);
+  return result;
+}
+
+NodeIndex BddManager::not_rec(NodeIndex f) {
+  if (f == kFalseIndex) return kTrueIndex;
+  if (f == kTrueIndex) return kFalseIndex;
+
+  NodeIndex cached;
+  if (cache_find(kOpNot, f, 0, 0, &cached)) return cached;
+
+  const NodeIndex low = not_rec(nodes_[f].low);
+  const NodeIndex high = not_rec(nodes_[f].high);
+  const NodeIndex result = make_node(nodes_[f].var, low, high);
+  cache_store(kOpNot, f, 0, 0, result);
+  return result;
+}
+
+Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, apply_rec(kOpAnd, f.index(), g.index()));
+}
+
+Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, apply_rec(kOpOr, f.index(), g.index()));
+}
+
+Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, apply_rec(kOpXor, f.index(), g.index()));
+}
+
+Bdd BddManager::apply_not(const Bdd& f) {
+  assert(f.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, not_rec(f.index()));
+}
+
+// ---------------------------------------------------------------------------
+// Quantification
+// ---------------------------------------------------------------------------
+
+NodeIndex BddManager::quant_rec(std::uint32_t op, NodeIndex f, NodeIndex cube) {
+  if (f <= kTrueIndex) return f;
+  // Skip quantified variables above f's top variable: quantifying a
+  // variable not in the support is the identity.
+  unsigned lf = level(f);
+  while (cube > kTrueIndex && level(cube) < lf) cube = nodes_[cube].high;
+  if (cube <= kTrueIndex) return f;
+
+  NodeIndex cached;
+  if (cache_find(op, f, cube, 0, &cached)) return cached;
+
+  NodeIndex result;
+  if (level(cube) == lf) {
+    const NodeIndex low = quant_rec(op, nodes_[f].low, nodes_[cube].high);
+    const NodeIndex high = quant_rec(op, nodes_[f].high, nodes_[cube].high);
+    result = op == kOpExists ? apply_rec(kOpOr, low, high)
+                             : apply_rec(kOpAnd, low, high);
+  } else {
+    const NodeIndex low = quant_rec(op, nodes_[f].low, cube);
+    const NodeIndex high = quant_rec(op, nodes_[f].high, cube);
+    result = make_node(nodes_[f].var, low, high);
+  }
+  cache_store(op, f, cube, 0, result);
+  return result;
+}
+
+Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
+  assert(f.manager() == this && cube.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, quant_rec(kOpExists, f.index(), cube.index()));
+}
+
+Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
+  assert(f.manager() == this && cube.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, quant_rec(kOpForall, f.index(), cube.index()));
+}
+
+// ---------------------------------------------------------------------------
+// Relational product: exists(cube, f & g) in a single recursion
+// ---------------------------------------------------------------------------
+
+NodeIndex BddManager::and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube) {
+  if (f == kFalseIndex || g == kFalseIndex) return kFalseIndex;
+  if (f == kTrueIndex && g == kTrueIndex) return kTrueIndex;
+  if (cube <= kTrueIndex) return apply_rec(kOpAnd, f, g);
+
+  if (f > g) std::swap(f, g);  // AND is commutative.
+
+  const unsigned lf = level(f), lg = level(g);
+  const unsigned top = std::min(lf, lg);
+  while (cube > kTrueIndex && level(cube) < top) cube = nodes_[cube].high;
+  if (cube <= kTrueIndex) return apply_rec(kOpAnd, f, g);
+
+  NodeIndex cached;
+  if (cache_find(kOpAndExists, f, g, cube, &cached)) return cached;
+
+  const Var v = level_to_var_[top];
+  const NodeIndex f0 = lf == top ? nodes_[f].low : f;
+  const NodeIndex f1 = lf == top ? nodes_[f].high : f;
+  const NodeIndex g0 = lg == top ? nodes_[g].low : g;
+  const NodeIndex g1 = lg == top ? nodes_[g].high : g;
+
+  NodeIndex result;
+  if (level(cube) == top) {
+    const NodeIndex low = and_exists_rec(f0, g0, nodes_[cube].high);
+    if (low == kTrueIndex) {
+      result = kTrueIndex;  // Early termination: OR with anything is true.
+    } else {
+      const NodeIndex high = and_exists_rec(f1, g1, nodes_[cube].high);
+      result = apply_rec(kOpOr, low, high);
+    }
+  } else {
+    const NodeIndex low = and_exists_rec(f0, g0, cube);
+    const NodeIndex high = and_exists_rec(f1, g1, cube);
+    result = make_node(v, low, high);
+  }
+  cache_store(kOpAndExists, f, g, cube, result);
+  return result;
+}
+
+Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
+  assert(f.manager() == this && g.manager() == this && cube.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, and_exists_rec(f.index(), g.index(), cube.index()));
+}
+
+// ---------------------------------------------------------------------------
+// Composition, cofactor and renaming
+// ---------------------------------------------------------------------------
+
+NodeIndex BddManager::compose_rec(NodeIndex f, Var v, NodeIndex g,
+                                  unsigned v_level) {
+  if (f <= kTrueIndex || level(f) > v_level) return f;
+
+  NodeIndex cached;
+  if (cache_find(kOpCompose, f, g, v, &cached)) return cached;
+
+  NodeIndex result;
+  if (nodes_[f].var == v) {
+    // Children of f cannot contain v; splice g in with one ITE.
+    result = ite_rec(g, nodes_[f].high, nodes_[f].low);
+  } else {
+    const NodeIndex low = compose_rec(nodes_[f].low, v, g, v_level);
+    const NodeIndex high = compose_rec(nodes_[f].high, v, g, v_level);
+    // Recombine with ITE on f's root variable: g's support may reach
+    // above f's root, so make_node alone would violate the ordering.
+    const NodeIndex root = make_node(nodes_[f].var, kFalseIndex, kTrueIndex);
+    result = ite_rec(root, high, low);
+  }
+  cache_store(kOpCompose, f, g, v, result);
+  return result;
+}
+
+Bdd BddManager::compose(const Bdd& f, Var v, const Bdd& g) {
+  assert(f.manager() == this && g.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, compose_rec(f.index(), v, g.index(), var_to_level_[v]));
+}
+
+Bdd BddManager::cofactor(const Bdd& f, Var v, bool value) {
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, compose_rec(f.index(), v,
+                               value ? kTrueIndex : kFalseIndex,
+                               var_to_level_[v]));
+}
+
+NodeIndex BddManager::simplify_rec(NodeIndex f, NodeIndex care) {
+  if (f <= kTrueIndex || care == kTrueIndex) return f;
+  assert(care != kFalseIndex && "simplify: empty care set");
+
+  NodeIndex cached;
+  if (cache_find(kOpSimplify, f, care, 0, &cached)) return cached;
+
+  const unsigned lf = level(f), lc = level(care);
+  NodeIndex result;
+  if (lc < lf) {
+    // The care set branches on a variable f does not mention: both care
+    // cofactors constrain f, so merge them existentially.
+    result = simplify_rec(f, apply_rec(kOpOr, nodes_[care].low,
+                                       nodes_[care].high));
+  } else {
+    const NodeIndex c0 = lc == lf ? nodes_[care].low : care;
+    const NodeIndex c1 = lc == lf ? nodes_[care].high : care;
+    if (c0 == kFalseIndex) {
+      result = simplify_rec(nodes_[f].high, c1);
+    } else if (c1 == kFalseIndex) {
+      result = simplify_rec(nodes_[f].low, c0);
+    } else {
+      const NodeIndex low = simplify_rec(nodes_[f].low, c0);
+      const NodeIndex high = simplify_rec(nodes_[f].high, c1);
+      result = make_node(nodes_[f].var, low, high);
+    }
+  }
+  cache_store(kOpSimplify, f, care, 0, result);
+  return result;
+}
+
+Bdd BddManager::simplify(const Bdd& f, const Bdd& care) {
+  assert(f.manager() == this && care.manager() == this);
+  assert(!care.is_false());
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  return Bdd(this, simplify_rec(f.index(), care.index()));
+}
+
+NodeIndex BddManager::permute_rec(
+    NodeIndex f, const std::vector<Var>& perm,
+    std::unordered_map<NodeIndex, NodeIndex>& memo) {
+  if (f <= kTrueIndex) return f;
+  auto it = memo.find(f);
+  if (it != memo.end()) return it->second;
+
+  const NodeIndex low = permute_rec(nodes_[f].low, perm, memo);
+  const NodeIndex high = permute_rec(nodes_[f].high, perm, memo);
+  const Var old_var = nodes_[f].var;
+  const Var new_var = old_var < perm.size() ? perm[old_var] : old_var;
+  // ITE keeps the result canonical even if the renaming moves the
+  // variable across levels of the children.
+  const NodeIndex root = make_node(new_var, kFalseIndex, kTrueIndex);
+  const NodeIndex result = ite_rec(root, high, low);
+  memo.emplace(f, result);
+  return result;
+}
+
+Bdd BddManager::permute(const Bdd& f, const std::vector<Var>& perm) {
+  assert(f.manager() == this);
+  maybe_gc();
+  OperationGuard guard(in_operation_);
+  std::unordered_map<NodeIndex, NodeIndex> memo;
+  return Bdd(this, permute_rec(f.index(), perm, memo));
+}
+
+}  // namespace covest::bdd

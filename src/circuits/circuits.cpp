@@ -1,0 +1,584 @@
+#include "circuits/circuits.h"
+
+#include <cassert>
+
+namespace covest::circuits {
+
+using ctl::Formula;
+using expr::Expr;
+using model::ModelBuilder;
+
+namespace {
+
+Expr word(std::uint64_t value, unsigned width) {
+  return Expr::word_const(value, width);
+}
+
+Formula prop(const Expr& e) { return Formula::prop(e); }
+
+/// AG(ante -> AX(cons)) — the workhorse shape of the paper's suites.
+Formula ag_next(const Expr& ante, const Expr& cons) {
+  return Formula::AG(prop(ante).implies(Formula::AX(prop(cons))));
+}
+
+/// Conjunction of a non-empty list of formulas (right fold).
+Formula conj(const std::vector<Formula>& fs) {
+  assert(!fs.empty());
+  Formula acc = fs.back();
+  for (std::size_t i = fs.size() - 1; i-- > 0;) {
+    acc = fs[i] & acc;
+  }
+  return acc;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Modulo-k counter (Section 1)
+// ---------------------------------------------------------------------------
+
+model::Model make_mod_counter(const CounterSpec& spec) {
+  ModelBuilder b("mod_counter");
+  const unsigned w = spec.width;
+  const Expr count = b.state_word("count", w, 0);
+  const Expr stall = b.input_bool("stall");
+  const Expr reset = b.input_bool("reset");
+  const Expr wrapped = ite(count == word(spec.limit - 1, w), word(0, w),
+                           count + word(1, w));
+  b.next("count", ite(reset, word(0, w), ite(stall, count, wrapped)));
+  return b.build();
+}
+
+std::vector<Formula> counter_increment_properties(const CounterSpec& spec) {
+  const unsigned w = spec.width;
+  const Expr count = Expr::var("count");
+  const Expr stall = Expr::var("stall");
+  const Expr reset = Expr::var("reset");
+  std::vector<Formula> props;
+  for (std::uint64_t c = 0; c + 1 < spec.limit; ++c) {
+    props.push_back(ag_next((!stall) & (!reset) & (count == word(c, w)),
+                            count == word(c + 1, w)));
+  }
+  return props;
+}
+
+std::vector<Formula> counter_full_suite(const CounterSpec& spec) {
+  const unsigned w = spec.width;
+  const Expr count = Expr::var("count");
+  const Expr stall = Expr::var("stall");
+  const Expr reset = Expr::var("reset");
+
+  std::vector<Formula> props = counter_increment_properties(spec);
+  // Wrap-around.
+  props.push_back(ag_next((!stall) & (!reset) & (count == word(spec.limit - 1, w)),
+                          count == word(0, w)));
+  // Stall holds the counter (one property, all values conjoined).
+  std::vector<Formula> holds;
+  for (std::uint64_t c = 0; c < spec.limit; ++c) {
+    holds.push_back(ag_next(stall & (!reset) & (count == word(c, w)),
+                            count == word(c, w)));
+  }
+  props.push_back(conj(holds));
+  // Reset dominates.
+  props.push_back(ag_next(reset, count == word(0, w)));
+  return props;
+}
+
+// ---------------------------------------------------------------------------
+// Circuit 1: priority buffer
+// ---------------------------------------------------------------------------
+
+model::Model make_priority_buffer(const PriorityBufferSpec& spec) {
+  assert(spec.capacity <= 8);
+  ModelBuilder b("priority_buffer");
+  const Expr hi = b.state_word("hi", 4, 0);
+  const Expr lo = b.state_word("lo", 4, 0);
+  b.state_bool("lo_cred", false);
+  const Expr in_hi = b.input_word("in_hi", 2);
+  const Expr in_lo = b.input_word("in_lo", 2);
+  const Expr drain = b.input_bool("drain");
+  const Expr clear = b.input_bool("clear");
+
+  const auto n4 = [](std::uint64_t v) { return word(v, 4); };
+  const Expr cap = n4(spec.capacity);
+
+  // Dispatch one entry per drain cycle, high priority first.
+  const Expr hi_pop = b.define("hi_pop", drain & (hi > n4(0)));
+  const Expr lo_pop = b.define("lo_pop", drain & (hi == n4(0)) & (lo > n4(0)));
+  const Expr hi_after = b.define("hi_after", ite(hi_pop, hi - n4(1), hi));
+  const Expr lo_after = b.define("lo_after", ite(lo_pop, lo - n4(1), lo));
+
+  // Accept incoming entries, saturating at capacity. All arithmetic fits
+  // in 4 bits on reachable states (counts stay <= capacity <= 8).
+  const Expr hi_sum = b.define("hi_sum", hi_after + in_hi);
+  const Expr hi_stored = b.define("hi_stored", ite(hi_sum <= cap, hi_sum, cap));
+  const Expr lo_sum = b.define("lo_sum", lo_after + in_lo);
+  const Expr lo_stored =
+      b.define("lo_stored", ite(lo_sum <= cap, lo_sum, cap));
+
+  const Expr buffer_empty = (hi == n4(0)) & (lo == n4(0));
+
+  // Seeded bug: the low-priority store-enable is derived from a grant
+  // term that is inactive when the whole buffer is empty and no
+  // high-priority entry arrives — incoming lo entries are silently
+  // dropped in exactly that corner.
+  const Expr lo_next =
+      spec.with_bug
+          ? ite(buffer_empty & (in_hi == word(0, 2)), n4(0), lo_stored)
+          : lo_stored;
+
+  b.next("hi", ite(clear, n4(0), hi_stored));
+  b.next("lo", ite(clear, n4(0), lo_next));
+  // Fast-acknowledge credit pulse: asserted after lo entries arrive alone
+  // into an idle, empty buffer. These states are reachable only through
+  // the missing property case, so they form the (small) coverage hole —
+  // the paper reports 99.98% for lo-pri, i.e. a near-miss hole.
+  b.next("lo_cred", (!clear) & (!drain) & buffer_empty &
+                        (in_lo > word(0, 2)) & (in_hi == word(0, 2)));
+  return b.build();
+}
+
+namespace {
+
+struct BufferRefs {
+  Expr hi = Expr::var("hi");
+  Expr lo = Expr::var("lo");
+  Expr in_hi = Expr::var("in_hi");
+  Expr in_lo = Expr::var("in_lo");
+  Expr drain = Expr::var("drain");
+  Expr clear = Expr::var("clear");
+};
+
+std::uint64_t clamp(std::uint64_t v, std::uint64_t cap) {
+  return v > cap ? cap : v;
+}
+
+}  // namespace
+
+std::vector<Formula> buffer_hi_properties(const PriorityBufferSpec& spec) {
+  const BufferRefs r;
+  const std::uint64_t cap = spec.capacity;
+  std::vector<Formula> props;
+
+  // H1: store when it fits (no drain).
+  std::vector<Formula> store;
+  for (std::uint64_t h = 0; h <= cap; ++h) {
+    for (std::uint64_t ih = 0; ih <= 3; ++ih) {
+      if (h + ih > cap) continue;
+      store.push_back(ag_next((!r.clear) & (!r.drain) & (r.hi == word(h, 4)) &
+                                  (r.in_hi == word(ih, 2)),
+                              r.hi == word(h + ih, 4)));
+    }
+  }
+  props.push_back(conj(store));
+
+  // H2: saturate at capacity (no drain).
+  std::vector<Formula> sat;
+  for (std::uint64_t h = 0; h <= cap; ++h) {
+    for (std::uint64_t ih = 0; ih <= 3; ++ih) {
+      if (h + ih <= cap) continue;
+      sat.push_back(ag_next((!r.clear) & (!r.drain) & (r.hi == word(h, 4)) &
+                                (r.in_hi == word(ih, 2)),
+                            r.hi == word(cap, 4)));
+    }
+  }
+  props.push_back(conj(sat));
+
+  // H3: drain a non-empty hi class (store still accepted).
+  std::vector<Formula> drained;
+  for (std::uint64_t h = 1; h <= cap; ++h) {
+    for (std::uint64_t ih = 0; ih <= 3; ++ih) {
+      drained.push_back(ag_next((!r.clear) & r.drain & (r.hi == word(h, 4)) &
+                                    (r.in_hi == word(ih, 2)),
+                                r.hi == word(clamp(h - 1 + ih, cap), 4)));
+    }
+  }
+  props.push_back(conj(drained));
+
+  // H4: drain with empty hi class leaves stores untouched.
+  std::vector<Formula> drain_empty;
+  for (std::uint64_t ih = 0; ih <= 3; ++ih) {
+    drain_empty.push_back(ag_next((!r.clear) & r.drain & (r.hi == word(0, 4)) &
+                                      (r.in_hi == word(ih, 2)),
+                                  r.hi == word(ih, 4)));
+  }
+  props.push_back(conj(drain_empty));
+
+  // H5: clear resets.
+  props.push_back(ag_next(r.clear, r.hi == word(0, 4)));
+  return props;
+}
+
+std::vector<Formula> buffer_lo_properties_initial(
+    const PriorityBufferSpec& spec) {
+  const BufferRefs r;
+  const std::uint64_t cap = spec.capacity;
+  std::vector<Formula> props;
+
+  // L1: store when it fits (no drain) — MISSING the "buffer completely
+  // empty and lo entries incoming" case, exactly as in the paper.
+  std::vector<Formula> store;
+  for (std::uint64_t h = 0; h <= cap; ++h) {
+    for (std::uint64_t l = 0; l <= cap; ++l) {
+      for (std::uint64_t il = 0; il <= 3; ++il) {
+        if (l + il > cap) continue;
+        if (h == 0 && l == 0 && il > 0) continue;  // The coverage hole.
+        store.push_back(ag_next(
+            (!r.clear) & (!r.drain) & (r.hi == word(h, 4)) &
+                (r.lo == word(l, 4)) & (r.in_lo == word(il, 2)),
+            r.lo == word(l + il, 4)));
+      }
+    }
+  }
+  props.push_back(conj(store));
+
+  // L2: saturate at capacity (never overlaps the empty case).
+  std::vector<Formula> sat;
+  for (std::uint64_t l = 0; l <= cap; ++l) {
+    for (std::uint64_t il = 0; il <= 3; ++il) {
+      if (l + il <= cap) continue;
+      sat.push_back(ag_next((!r.clear) & (!r.drain) & (r.lo == word(l, 4)) &
+                                (r.in_lo == word(il, 2)),
+                            r.lo == word(cap, 4)));
+    }
+  }
+  props.push_back(conj(sat));
+
+  // L3: drain with hi entries present — lo is not popped.
+  std::vector<Formula> hi_first;
+  for (std::uint64_t h = 1; h <= cap; ++h) {
+    for (std::uint64_t l = 0; l <= cap; ++l) {
+      for (std::uint64_t il = 0; il <= 3; ++il) {
+        hi_first.push_back(ag_next(
+            (!r.clear) & r.drain & (r.hi == word(h, 4)) &
+                (r.lo == word(l, 4)) & (r.in_lo == word(il, 2)),
+            r.lo == word(clamp(l + il, cap), 4)));
+      }
+    }
+  }
+  props.push_back(conj(hi_first));
+
+  // L4: drain pops lo when hi is empty and lo is not.
+  std::vector<Formula> lo_drain;
+  for (std::uint64_t l = 1; l <= cap; ++l) {
+    for (std::uint64_t il = 0; il <= 3; ++il) {
+      lo_drain.push_back(ag_next(
+          (!r.clear) & r.drain & (r.hi == word(0, 4)) & (r.lo == word(l, 4)) &
+              (r.in_lo == word(il, 2)),
+          r.lo == word(clamp(l - 1 + il, cap), 4)));
+    }
+  }
+  props.push_back(conj(lo_drain));
+
+  // L5: clear resets.
+  props.push_back(ag_next(r.clear, r.lo == word(0, 4)));
+  return props;
+}
+
+Formula buffer_lo_missing_case(const PriorityBufferSpec& spec) {
+  const BufferRefs r;
+  (void)spec;
+  std::vector<Formula> cases;
+  for (std::uint64_t il = 1; il <= 3; ++il) {
+    for (std::uint64_t ih = 0; ih <= 3; ++ih) {
+      cases.push_back(ag_next((!r.clear) & (r.hi == word(0, 4)) &
+                                  (r.lo == word(0, 4)) &
+                                  (r.in_lo == word(il, 2)) &
+                                  (r.in_hi == word(ih, 2)),
+                              r.lo == word(il, 4)));
+    }
+  }
+  return conj(cases);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit 2: circular queue
+// ---------------------------------------------------------------------------
+
+model::Model make_circular_queue(const CircularQueueSpec& spec) {
+  ModelBuilder b("circular_queue");
+  const unsigned w = spec.ptr_bits;
+  const std::uint64_t top = (1ull << w) - 1;
+
+  const Expr wptr = b.state_word("wptr", w, 0);
+  const Expr rptr = b.state_word("rptr", w, 0);
+  const Expr wrap = b.state_bool("wrap", false);
+  const Expr pend = b.state_bool("pend", false);
+  const Expr push = b.input_bool("push");
+  const Expr pop = b.input_bool("pop");
+  const Expr stall = b.input_bool("stall");
+  const Expr clear = b.input_bool("clear");
+
+  const Expr eq = b.define("ptr_eq", wptr == rptr);
+  const Expr full = b.define("full", eq & wrap);
+  const Expr empty = b.define("empty", eq & (!wrap));
+  const Expr do_push = b.define("do_push", push & (!full));
+  const Expr do_pop = b.define("do_pop", pop & (!empty));
+  const Expr wwrap = b.define("wwrap_ev", do_push & (wptr == word(top, w)));
+  const Expr rwrap = b.define("rwrap_ev", do_pop & (rptr == word(top, w)));
+  // Parity of wrap events this cycle (simultaneous wraps cancel).
+  const Expr toggle = b.define("toggle_req", wwrap ^ rwrap);
+
+  b.next("wptr", ite(clear, word(0, w), ite(do_push, wptr + word(1, w), wptr)));
+  b.next("rptr", ite(clear, word(0, w), ite(do_pop, rptr + word(1, w), rptr)));
+  // The wrap-status unit is stalled by `stall`: pointer wraps that happen
+  // while stalled are remembered in `pend` (parity) and absorbed into
+  // `wrap` on the first un-stalled cycle. States with pend=1 are
+  // reachable only through a stalled pointer wrap — the paper's corner.
+  b.next("pend", (!clear) & stall & (pend ^ toggle));
+  b.next("wrap", (!clear) & ite(stall, wrap, wrap ^ pend ^ toggle));
+  return b.build();
+}
+
+namespace {
+
+struct QueueRefs {
+  Expr wrap = Expr::var("wrap");
+  Expr pend = Expr::var("pend");
+  Expr wwrap = Expr::var("wwrap_ev");
+  Expr rwrap = Expr::var("rwrap_ev");
+  Expr stall = Expr::var("stall");
+  Expr clear = Expr::var("clear");
+  Expr full = Expr::var("full");
+  Expr empty = Expr::var("empty");
+  Expr eq = Expr::var("ptr_eq");
+};
+
+}  // namespace
+
+std::vector<Formula> queue_wrap_properties_initial(
+    const CircularQueueSpec& spec) {
+  (void)spec;
+  const QueueRefs r;
+  const Expr quiet = (!r.stall) & (!r.clear) & (!r.pend);
+  return {
+      ag_next(quiet & r.wwrap & (!r.rwrap) & (!r.wrap), r.wrap),
+      ag_next(quiet & r.wwrap & (!r.rwrap) & r.wrap, (!r.wrap)),
+      ag_next(quiet & r.rwrap & (!r.wwrap) & (!r.wrap), r.wrap),
+      ag_next(quiet & r.rwrap & (!r.wwrap) & r.wrap, (!r.wrap)),
+      ag_next(r.clear, !r.wrap),
+  };
+}
+
+std::vector<Formula> queue_wrap_properties_additional(
+    const CircularQueueSpec& spec) {
+  (void)spec;
+  const QueueRefs r;
+  const Expr quiet = (!r.stall) & (!r.clear) & (!r.pend);
+  return {
+      ag_next(quiet & (!r.wwrap) & (!r.rwrap) & (!r.wrap), (!r.wrap)),
+      ag_next(quiet & (!r.wwrap) & (!r.rwrap) & r.wrap, r.wrap),
+      // Simultaneous read and write wraps cancel.
+      ag_next(quiet & r.wwrap & r.rwrap & r.wrap, r.wrap) &
+          ag_next(quiet & r.wwrap & r.rwrap & (!r.wrap), (!r.wrap)),
+  };
+}
+
+std::vector<Formula> queue_full_properties(const CircularQueueSpec& spec) {
+  (void)spec;
+  const QueueRefs r;
+  return {
+      Formula::AG(prop(r.full.iff(r.eq & r.wrap))),
+      Formula::AG(prop(!(r.full & r.empty))),
+  };
+}
+
+std::vector<Formula> queue_empty_properties(const CircularQueueSpec& spec) {
+  (void)spec;
+  const QueueRefs r;
+  return {
+      Formula::AG(prop(r.empty.iff(r.eq & (!r.wrap)))),
+      ag_next(r.clear, Expr::var("empty")),
+  };
+}
+
+Formula queue_wrap_stall_property(const CircularQueueSpec& spec) {
+  (void)spec;
+  const QueueRefs r;
+  // "The wrap bit remains unchanged while the status unit is stalled."
+  return (ag_next(r.stall & (!r.clear) & r.wrap, r.wrap) &
+          ag_next(r.stall & (!r.clear) & (!r.wrap), (!r.wrap)));
+}
+
+// ---------------------------------------------------------------------------
+// Circuit 3: decode pipeline
+// ---------------------------------------------------------------------------
+
+model::Model make_pipeline(const PipelineSpec& spec) {
+  assert(spec.stages >= 1 && spec.hold_cycles >= 1 && spec.hold_cycles <= 3);
+  ModelBuilder b("pipeline");
+  const unsigned n = spec.stages;
+
+  std::vector<Expr> d, v;
+  for (unsigned i = 1; i <= n; ++i) {
+    d.push_back(b.state_bool("d" + std::to_string(i)));
+    v.push_back(b.state_bool("v" + std::to_string(i), false));
+  }
+  const Expr out = b.state_bool("out");
+  const Expr outv = b.state_bool("outv", false);
+  const Expr hold = b.state_word("hold", 2, 0);
+  const Expr in_d = b.input_bool("in_d");
+  const Expr in_v = b.input_bool("in_v");
+  const Expr stall = b.input_bool("stall");
+
+  b.fairness(!stall);
+  // The output register is consumed by an end-of-pipe state machine that
+  // takes `hold_cycles` cycles per instruction; the pipe advances only
+  // when it is idle.
+  const Expr adv = b.define("adv", (!stall) & (hold == word(0, 2)));
+
+  b.next("d1", ite(adv, in_d, d[0]));
+  b.next("v1", ite(adv, in_v, v[0]));
+  for (unsigned i = 1; i < n; ++i) {
+    b.next("d" + std::to_string(i + 1), ite(adv, d[i - 1], d[i]));
+    b.next("v" + std::to_string(i + 1), ite(adv, v[i - 1], v[i]));
+  }
+  b.next("out", ite(adv, d[n - 1], out));
+  b.next("outv", ite(adv, v[n - 1], outv));
+  b.next("hold", ite(adv & v[n - 1], word(spec.hold_cycles, 2),
+                     ite(hold > word(0, 2), hold - word(1, 2), word(0, 2))));
+
+  // The observed datapath output is irrelevant while no valid instruction
+  // has reached it (Section 4.2 of the paper).
+  b.dontcare(!outv);
+  return b.build();
+}
+
+namespace {
+
+struct PipeRefs {
+  explicit PipeRefs(const PipelineSpec& spec) : last(spec.stages) {}
+  unsigned last;
+  Expr out = Expr::var("out");
+  Expr outv = Expr::var("outv");
+  Expr hold = Expr::var("hold");
+  Expr adv = Expr::var("adv");
+  Expr in_d = Expr::var("in_d");
+  Expr in_v = Expr::var("in_v");
+  Expr stall = Expr::var("stall");
+
+  Expr dstage(unsigned i) const { return Expr::var("d" + std::to_string(i)); }
+  Expr vstage(unsigned i) const { return Expr::var("v" + std::to_string(i)); }
+  Expr data_is(const Expr& e, bool value) const { return value ? e : (!e); }
+};
+
+}  // namespace
+
+std::vector<Formula> pipeline_properties_initial(const PipelineSpec& spec) {
+  const PipeRefs r(spec);
+  std::vector<Formula> props;
+
+  for (bool bit : {false, true}) {
+    const Expr capture = r.adv & r.in_v & r.data_is(r.in_d, bit);
+    const Expr at_output = r.outv & r.data_is(r.out, bit);
+
+    // Eventuality: a captured instruction appears at the output (needs
+    // fairness on stall).
+    props.push_back(
+        Formula::AG(prop(capture).implies(Formula::AF(prop(at_output)))));
+
+    // Nested-until staging property (the paper's
+    // AG(p1 -> A[p2 U A[p3 U p4]]) shape).
+    Formula stage_chain = prop(at_output);
+    for (unsigned i = spec.stages; i >= 1; --i) {
+      stage_chain = Formula::AU(
+          prop(r.vstage(i) & r.data_is(r.dstage(i), bit)), stage_chain);
+    }
+    props.push_back(
+        Formula::AG(prop(capture).implies(Formula::AX(stage_chain))));
+  }
+
+  for (bool bit : {false, true}) {
+    // Last-stage transfer into the output register.
+    props.push_back(ag_next(
+        r.adv & r.vstage(r.last) & r.data_is(r.dstage(r.last), bit),
+        r.outv & r.data_is(r.out, bit)));
+    // Output stability under stall (the team thought of stalls — but not
+    // of the end-of-pipe hold machine).
+    props.push_back(ag_next(
+        r.stall & (r.hold == word(0, 2)) & r.outv & r.data_is(r.out, bit),
+        r.data_is(r.out, bit)));
+  }
+  return props;
+}
+
+std::vector<Formula> pipeline_hold_properties(const PipelineSpec& spec) {
+  const PipeRefs r(spec);
+  std::vector<Formula> props;
+  for (bool bit : {false, true}) {
+    // The output retains its value until the end-of-pipe machine is done.
+    props.push_back(Formula::AG(
+        prop(r.adv & r.vstage(r.last) & r.data_is(r.dstage(r.last), bit))
+            .implies(Formula::AX(
+                Formula::AU(prop(r.data_is(r.out, bit)),
+                            prop(r.hold == word(0, 2)))))));
+    // Stability during each hold cycle.
+    props.push_back(ag_next((r.hold > word(0, 2)) & r.data_is(r.out, bit),
+                            r.data_is(r.out, bit)));
+  }
+  return props;
+}
+
+// ---------------------------------------------------------------------------
+// Figure graphs
+// ---------------------------------------------------------------------------
+
+model::Model make_fig1_graph() {
+  ModelBuilder b("fig1");
+  const Expr st = b.state_word("st", 3, 0);
+  const Expr choice = b.input_bool("choice");
+  b.define("p1", st == word(1, 3));
+  b.define("q", (st == word(3, 3)) | (st == word(4, 3)));
+  // 0 -> {1, 4}; 1 -> 2 -> 3 (q, covered); 3 -> 3; 4 (q, not covered) -> 4.
+  b.next("st",
+         ite(st == word(0, 3), ite(choice, word(1, 3), word(4, 3)),
+             ite(st == word(1, 3), word(2, 3),
+                 ite(st == word(2, 3), word(3, 3),
+                     ite(st == word(3, 3), word(3, 3), word(4, 3))))));
+  return b.build();
+}
+
+Formula fig1_formula() {
+  return Formula::AG(prop(Expr::var("p1"))
+                         .implies(Formula::AX(
+                             Formula::AX(prop(Expr::var("q"))))));
+}
+
+model::Model make_fig2_graph() {
+  ModelBuilder b("fig2");
+  const Expr st = b.state_word("st", 2, 0);
+  b.define("p1", st <= word(2, 2));
+  b.define("q", (st == word(2, 2)) | (st == word(3, 2)));
+  // A chain 0 -> 1 -> 2 -> 3 -> 3; p1 holds through the first q state, so
+  // flipping q there cannot falsify A[p1 U q] — the Figure-2 anomaly.
+  b.next("st",
+         ite(st == word(3, 2), word(3, 2), st + word(1, 2)));
+  return b.build();
+}
+
+Formula fig2_formula() {
+  return Formula::AU(prop(Expr::var("p1")), prop(Expr::var("q")));
+}
+
+model::Model make_fig3_graph() {
+  ModelBuilder b("fig3");
+  const Expr st = b.state_word("st", 3, 0);
+  const Expr choice = b.input_bool("choice");
+  b.define("f1", (st == word(0, 3)) | (st == word(1, 3)) |
+                     (st == word(2, 3)) | (st == word(4, 3)));
+  b.define("f2", (st == word(3, 3)) | (st == word(5, 3)) |
+                     (st == word(6, 3)));
+  // 0 -> {1, 2}; 1 -> 3(f2); 2 -> {4, 5(f2)}; 4 -> 6(f2); terminals loop.
+  b.next("st",
+         ite(st == word(0, 3), ite(choice, word(1, 3), word(2, 3)),
+             ite(st == word(1, 3), word(3, 3),
+                 ite(st == word(2, 3), ite(choice, word(4, 3), word(5, 3)),
+                     ite(st == word(4, 3), word(6, 3), st)))));
+  return b.build();
+}
+
+Formula fig3_formula() {
+  return Formula::AU(prop(Expr::var("f1")), prop(Expr::var("f2")));
+}
+
+}  // namespace covest::circuits

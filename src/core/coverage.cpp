@@ -1,0 +1,276 @@
+#include "core/coverage.h"
+
+#include <stdexcept>
+
+namespace covest::core {
+
+using bdd::Bdd;
+using ctl::CtlOp;
+using ctl::Formula;
+using expr::Expr;
+
+CoverageEstimator::CoverageEstimator(ctl::ModelChecker& checker,
+                                     CoverageOptions options)
+    : checker_(checker), fsm_(checker.fsm()), options_(options) {}
+
+// ---------------------------------------------------------------------------
+// Coverage space and fair restriction
+// ---------------------------------------------------------------------------
+
+const Bdd& CoverageEstimator::coverage_space() {
+  if (!space_) {
+    // States reachable along fair paths: the same fair-restricted BFS the
+    // covered-set recursion uses (and caches), so suites pay for
+    // reachability exactly once.
+    Bdd start = fsm_.initial_states();
+    if (options_.restrict_to_fair) start &= checker_.fair_states();
+    Bdd space = reachable_fair(start);
+    if (options_.exclude_dontcares) space -= fsm_.dontcare();
+    space_ = space;
+  }
+  return *space_;
+}
+
+Bdd CoverageEstimator::forward_fair(const Bdd& s) {
+  Bdd next = fsm_.forward(s);
+  if (options_.restrict_to_fair) next &= checker_.fair_states();
+  return next;
+}
+
+Bdd CoverageEstimator::reachable_fair(const Bdd& s) {
+  const auto it = reach_cache_.find(s.index());
+  if (it != reach_cache_.end() && it->second.from == s) {
+    return it->second.result;
+  }
+  Bdd reached = s;
+  Bdd frontier = s;
+  while (!frontier.is_false()) {
+    frontier = forward_fair(frontier) - reached;
+    reached |= frontier;
+  }
+  reach_cache_[s.index()] = ReachEntry{s, reached};
+  return reached;
+}
+
+// ---------------------------------------------------------------------------
+// Table-1 primitives
+// ---------------------------------------------------------------------------
+
+Bdd CoverageEstimator::depend(const Expr& atom, const ObservedSignal& q) {
+  // depend(b) = T(b) ∩ ¬T(b[q -> !q]): states where b holds but flipping
+  // the observed signal's label falsifies it. The flip substitution runs
+  // on the define-expanded atom (preserving an observed DEFINE) so every
+  // occurrence of q is rewritten.
+  const model::Model& m = fsm_.model();
+  const Expr expanded = m.expand_defines(atom, &q.name);
+  const Expr flipped =
+      expr::substitute_signal(expanded, q.name, flip_replacement(m, q));
+  const Bdd t = fsm_.blast_bool(expanded);
+  const Bdd t_flipped = fsm_.blast_bool(flipped);
+  return t - t_flipped;
+}
+
+namespace {
+
+std::uint64_t triple_key(bdd::NodeIndex a, bdd::NodeIndex b,
+                         bdd::NodeIndex c) {
+  std::uint64_t h = a;
+  h = h * 0x9e3779b97f4a7c15ull + b;
+  h = h * 0x9e3779b97f4a7c15ull + c;
+  return h;
+}
+
+}  // namespace
+
+Bdd CoverageEstimator::traverse(const Bdd& s0, const Bdd& t1, const Bdd& t2) {
+  // lfp X. (S0 ∧ T(f1) ∧ ¬T(f2)) ∪ (forward(X) ∧ T(f1) ∧ ¬T(f2)):
+  // states on the f1-and-not-yet-f2 prefixes of paths from S0.
+  auto& bucket = traverse_cache_[triple_key(s0.index(), t1.index(),
+                                            t2.index())];
+  for (const TraverseEntry& e : bucket) {
+    if (e.s0 == s0 && e.t1 == t1 && e.t2 == t2) return e.result;
+  }
+  const Bdd band = t1 - t2;
+  Bdd acc = s0 & band;
+  Bdd frontier = acc;
+  while (!frontier.is_false()) {
+    frontier = (forward_fair(frontier) & band) - acc;
+    acc |= frontier;
+  }
+  bucket.push_back(TraverseEntry{s0, t1, t2, acc});
+  return acc;
+}
+
+Bdd CoverageEstimator::firstreached(const Bdd& s0, const Bdd& t2) {
+  // States satisfying f2 that some path from S0 reaches without passing
+  // through an earlier f2 state.
+  auto& bucket = first_cache_[triple_key(s0.index(), t2.index(), 0)];
+  for (const FirstEntry& e : bucket) {
+    if (e.s0 == s0 && e.t2 == t2) return e.result;
+  }
+  Bdd first = s0 & t2;
+  Bdd visited = s0;
+  Bdd frontier = s0 - t2;
+  while (!frontier.is_false()) {
+    const Bdd next = forward_fair(frontier) - visited;
+    visited |= next;
+    first |= next & t2;
+    frontier = next - t2;
+  }
+  bucket.push_back(FirstEntry{s0, t2, first});
+  return first;
+}
+
+// ---------------------------------------------------------------------------
+// The recursive covered-set computation (Table 1)
+// ---------------------------------------------------------------------------
+
+Bdd CoverageEstimator::covered_rec(const Bdd& s0, const Formula& f,
+                                   const ObservedSignal& q) {
+  if (s0.is_false()) return fsm_.mgr().bdd_false();
+  switch (f.op()) {
+    case CtlOp::kProp:
+      return s0 & depend(f.prop(), q);
+    case CtlOp::kImplies: {
+      if (f.arg(0).op() != CtlOp::kProp) {
+        throw std::logic_error("implication antecedent must be an atom");
+      }
+      return covered_rec(s0 & checker_.sat(f.arg(0)), f.arg(1), q);
+    }
+    case CtlOp::kAX:
+      return covered_rec(forward_fair(s0), f.arg(0), q);
+    case CtlOp::kAG:
+      return covered_rec(reachable_fair(s0), f.arg(0), q);
+    case CtlOp::kAF: {
+      // AF f == A[true U f]; the traverse term contributes nothing
+      // (its operand `true` never depends on q).
+      return covered_rec(firstreached(s0, checker_.sat(f.arg(0))), f.arg(0),
+                         q);
+    }
+    case CtlOp::kAU: {
+      const Bdd t1 = checker_.sat(f.arg(0));
+      const Bdd t2 = checker_.sat(f.arg(1));
+      const Bdd from_lhs = covered_rec(traverse(s0, t1, t2), f.arg(0), q);
+      const Bdd from_rhs = covered_rec(firstreached(s0, t2), f.arg(1), q);
+      return from_lhs | from_rhs;
+    }
+    case CtlOp::kAnd:
+      return covered_rec(s0, f.arg(0), q) | covered_rec(s0, f.arg(1), q);
+    default:
+      throw std::logic_error(
+          "covered_rec: operator outside the acceptable ACTL subset");
+  }
+}
+
+Bdd CoverageEstimator::covered_set(const Formula& f, const ObservedSignal& q) {
+  const Formula collapsed = ctl::collapse_propositional(f);
+  const std::string violation = ctl::acceptable_actl_violation(collapsed);
+  if (!violation.empty()) {
+    throw std::runtime_error("coverage needs the acceptable ACTL subset: " +
+                             violation + " in '" + ctl::to_string(f) + "'");
+  }
+  if (!checker_.holds(collapsed)) {
+    if (options_.require_holds) {
+      throw std::runtime_error(
+          "coverage is defined for verified properties, but the model "
+          "does not satisfy '" +
+          ctl::to_string(f) + "'");
+    }
+    return fsm_.mgr().bdd_false();
+  }
+
+  Bdd start = fsm_.initial_states();
+  if (options_.restrict_to_fair) start &= checker_.fair_states();
+  return covered_rec(start, collapsed, q);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation and reporting
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A property can only cover states for signals its atoms mention; skip
+/// the rest so `num_properties` matches the paper's per-signal counts.
+bool mentions_signal(const Formula& f, const std::string& name,
+                     const model::Model& m) {
+  if (f.op() == CtlOp::kProp) {
+    const Expr expanded = m.expand_defines(f.prop(), &name);
+    for (const std::string& ref : expr::referenced_signals(expanded)) {
+      if (ref == name) return true;
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < f.arity(); ++i) {
+    if (mentions_signal(f.arg(i), name, m)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SignalCoverage CoverageEstimator::coverage(
+    const std::vector<Formula>& properties, const ObservedSignal& q) {
+  SignalCoverage result;
+  result.signal = q;
+  result.covered = fsm_.mgr().bdd_false();
+  for (const Formula& f : properties) {
+    const Formula collapsed = ctl::collapse_propositional(f);
+    if (!mentions_signal(collapsed, q.name, fsm_.model())) continue;
+    ++result.num_properties;
+    result.covered |= covered_set(collapsed, q);
+  }
+  const Bdd in_space = result.covered & coverage_space();
+  result.covered_count = fsm_.count_states(in_space);
+  const double space = fsm_.count_states(coverage_space());
+  result.percent = space == 0.0 ? 100.0 : 100.0 * result.covered_count / space;
+  return result;
+}
+
+CoverageReport CoverageEstimator::report(
+    const std::vector<Formula>& properties,
+    const std::vector<std::vector<ObservedSignal>>& groups) {
+  CoverageReport rep;
+  rep.coverage_space = coverage_space();
+  rep.space_count = fsm_.count_states(rep.coverage_space);
+  for (const auto& group : groups) {
+    if (group.empty()) continue;
+    SignalCoverage merged;
+    merged.signal = group.front();
+    merged.covered = fsm_.mgr().bdd_false();
+    for (const ObservedSignal& q : group) {
+      const SignalCoverage sc = coverage(properties, q);
+      merged.covered |= sc.covered;
+      merged.num_properties = std::max(merged.num_properties,
+                                       sc.num_properties);
+    }
+    if (group.size() > 1) {
+      merged.signal.bit.reset();  // Whole-word entry.
+    }
+    const Bdd in_space = merged.covered & coverage_space();
+    merged.covered_count = fsm_.count_states(in_space);
+    merged.percent = rep.space_count == 0.0
+                         ? 100.0
+                         : 100.0 * merged.covered_count / rep.space_count;
+    rep.signals.push_back(std::move(merged));
+  }
+  return rep;
+}
+
+Bdd CoverageEstimator::uncovered(const Bdd& covered) {
+  return coverage_space() - covered;
+}
+
+std::vector<std::string> CoverageEstimator::uncovered_examples(
+    const Bdd& covered, std::size_t limit) {
+  return fsm_.format_states(uncovered(covered), limit);
+}
+
+std::optional<fsm::Trace> CoverageEstimator::trace_to_uncovered(
+    const Bdd& covered) {
+  const Bdd holes = uncovered(covered);
+  if (holes.is_false()) return std::nullopt;
+  return fsm::shortest_trace(fsm_, fsm_.initial_states(), holes);
+}
+
+}  // namespace covest::core

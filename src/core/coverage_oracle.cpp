@@ -1,0 +1,88 @@
+#include "core/coverage_oracle.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace covest::core {
+
+using ctl::Formula;
+using xstate::AtomOverride;
+using xstate::ExplicitModel;
+
+namespace {
+
+constexpr std::size_t kNoFlip = std::numeric_limits<std::size_t>::max();
+
+/// Builds the dual-machine atom override: flipping either the primed twin
+/// q' (transformed mode) or q itself (naive mode) at `flip_state`.
+AtomOverride make_override(const ExplicitModel& xm, const ObservedSignal& q,
+                           bool use_transform, const std::size_t* flip_state) {
+  AtomOverride hook;
+  const std::string primed = q.primed_name();
+  const model::Signal& sig = xm.model().signal(q.name);
+  const bool is_define = sig.kind == model::SignalKind::kDefine;
+
+  if (use_transform) {
+    hook.type = [primed](const std::string& n) -> std::optional<expr::Type> {
+      if (n == primed) return expr::Type::boolean();
+      return std::nullopt;
+    };
+    hook.value = [&xm, q, primed, flip_state](
+                     std::size_t state,
+                     const std::string& n) -> std::optional<std::uint64_t> {
+      if (n != primed) return std::nullopt;
+      const std::uint64_t word = xm.value(state, q.name);
+      bool bit = q.bit ? ((word >> *q.bit) & 1) != 0 : word != 0;
+      if (state == *flip_state) bit = !bit;
+      return bit ? 1 : 0;
+    };
+    // An observed DEFINE must stay visible in atoms so q' can reference
+    // its base value... (the transform references q.name inside the
+    // primed routing expression for word signals).
+    if (is_define) hook.preserve_define = q.name;
+    return hook;
+  }
+
+  // Naive mode: flip q's own label at the flip state.
+  if (is_define) hook.preserve_define = q.name;
+  hook.value = [&xm, q, flip_state](
+                   std::size_t state,
+                   const std::string& n) -> std::optional<std::uint64_t> {
+    if (n != q.name || state != *flip_state) return std::nullopt;
+    const std::uint64_t word = xm.value(state, q.name);
+    if (!q.bit) return word != 0 ? 0 : 1;
+    return word ^ (1ull << *q.bit);
+  };
+  return hook;
+}
+
+}  // namespace
+
+Def3Result definition3_covered(const ExplicitModel& xm, const Formula& f,
+                               const ObservedSignal& q, bool use_transform) {
+  Def3Result result;
+  result.evaluated =
+      use_transform ? observability_transform(f, q, xm.model())
+                    : ctl::collapse_propositional(f);
+
+  std::size_t flip_state = kNoFlip;
+  const AtomOverride hook =
+      make_override(xm, q, use_transform, &flip_state);
+
+  if (!xm.holds(result.evaluated, &hook)) {
+    throw std::runtime_error(
+        "Definition-3 coverage requires a verified property, but '" +
+        ctl::to_string(f) + "' fails (or its transform diverges)");
+  }
+
+  for (std::size_t s = 0; s < xm.num_states(); ++s) {
+    if (!xm.reachable()[s]) continue;  // Unreachable flips cannot matter.
+    flip_state = s;
+    if (!xm.holds(result.evaluated, &hook)) {
+      result.covered.push_back(s);
+    }
+  }
+  return result;
+}
+
+}  // namespace covest::core

@@ -1,0 +1,103 @@
+#include "core/observed.h"
+
+#include <stdexcept>
+
+namespace covest::core {
+
+using expr::Expr;
+
+namespace {
+
+const model::Signal& checked_signal(const model::Model& model,
+                                    const std::string& name) {
+  const model::Signal* s = model.find_signal(name);
+  if (s == nullptr) {
+    throw std::runtime_error("observed signal '" + name +
+                             "' does not exist in model '" + model.name() +
+                             "'");
+  }
+  return *s;
+}
+
+}  // namespace
+
+std::vector<ObservedSignal> observe_all_bits(const model::Model& model,
+                                             const std::string& name) {
+  const model::Signal& s = checked_signal(model, name);
+  if (s.type.is_bool) return {ObservedSignal{name, std::nullopt}};
+  std::vector<ObservedSignal> out;
+  for (unsigned i = 0; i < s.type.width; ++i) {
+    out.push_back(ObservedSignal{name, i});
+  }
+  return out;
+}
+
+ObservedSignal observe_bool(const model::Model& model,
+                            const std::string& name) {
+  const model::Signal& s = checked_signal(model, name);
+  if (!s.type.is_bool) {
+    throw std::runtime_error(
+        "observed signal '" + name +
+        "' is a word; observe a bit (name[i]) or all bits");
+  }
+  return ObservedSignal{name, std::nullopt};
+}
+
+ObservedSignal parse_observed(const model::Model& model,
+                              const std::string& text) {
+  const auto bracket = text.find('[');
+  if (bracket == std::string::npos) {
+    const model::Signal& s = checked_signal(model, text);
+    if (!s.type.is_bool) {
+      throw std::runtime_error("observed word signal '" + text +
+                               "' needs a bit index, e.g. " + text + "[0]");
+    }
+    return ObservedSignal{text, std::nullopt};
+  }
+  const std::string name = text.substr(0, bracket);
+  const auto close = text.find(']', bracket);
+  if (close == std::string::npos) {
+    throw std::runtime_error("malformed observed signal '" + text + "'");
+  }
+  const unsigned bit = static_cast<unsigned>(
+      std::stoul(text.substr(bracket + 1, close - bracket - 1)));
+  const model::Signal& s = checked_signal(model, name);
+  if (s.type.is_bool || bit >= s.type.width) {
+    throw std::runtime_error("bit index out of range in '" + text + "'");
+  }
+  return ObservedSignal{name, bit};
+}
+
+Expr flip_replacement(const model::Model& model, const ObservedSignal& q) {
+  const model::Signal& s = checked_signal(model, q.name);
+  const Expr ref = Expr::var(q.name);
+  if (s.type.is_bool) {
+    if (q.bit) {
+      throw std::runtime_error("boolean observed signal '" + q.name +
+                               "' cannot have a bit index");
+    }
+    return !ref;
+  }
+  if (!q.bit || *q.bit >= s.type.width) {
+    throw std::runtime_error("observed word signal '" + q.name +
+                             "' needs a valid bit index");
+  }
+  return ref ^ Expr::word_const(1ull << *q.bit, s.type.width);
+}
+
+Expr primed_replacement(const model::Model& model, const ObservedSignal& q) {
+  const model::Signal& s = checked_signal(model, q.name);
+  const Expr ref = Expr::var(q.name);
+  const Expr primed = Expr::var(q.primed_name());
+  if (s.type.is_bool) {
+    return primed;
+  }
+  const std::uint64_t mask = 1ull << q.bit.value();
+  const Expr with_bit = ref | Expr::word_const(mask, s.type.width);
+  const Expr without_bit =
+      ref & Expr::word_const(~mask & ((1ull << s.type.width) - 1),
+                             s.type.width);
+  return ite(primed, with_bit, without_bit);
+}
+
+}  // namespace covest::core

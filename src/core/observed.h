@@ -1,0 +1,62 @@
+// Observed signals (the `q` of the paper's Definitions 1-3).
+//
+// An observed signal is a boolean-valued labelling of states: either a
+// boolean signal (latch, input or DEFINE proposition) or one bit of a
+// word signal. Coverage of a word signal like the paper's `count` is the
+// union of the per-bit covered sets ("the covered states are then simply
+// the union of the covered states for each individual signal", Section 2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "model/model.h"
+
+namespace covest::core {
+
+struct ObservedSignal {
+  std::string name;             ///< Signal name in the model.
+  std::optional<unsigned> bit;  ///< Bit index for word signals.
+
+  /// Name of the primed twin q' introduced by the observability
+  /// transformation (Definition 5).
+  std::string primed_name() const { return name + "'"; }
+
+  /// Display form: `full` or `count[1]`.
+  std::string to_string() const {
+    return bit ? name + "[" + std::to_string(*bit) + "]" : name;
+  }
+
+  bool operator==(const ObservedSignal&) const = default;
+};
+
+/// Replacement expression for references to `q.name` that *flips* the
+/// observed bit in place: `!q` for booleans, `q ^ (1 << bit)` for words.
+/// This is the `q -> !q` substitution of `depend(b)` (Section 3).
+expr::Expr flip_replacement(const model::Model& model,
+                            const ObservedSignal& q);
+
+/// Replacement expression that routes the observed bit through the primed
+/// twin signal q': `q'` for booleans, and for bit j of a word,
+/// `q' ? (q | (1<<j)) : (q & ~(1<<j))`. Used by the observability
+/// transformation so the dual FSM can flip q' independently of q.
+expr::Expr primed_replacement(const model::Model& model,
+                              const ObservedSignal& q);
+
+/// All observable bits of a signal: one entry for a boolean, `width`
+/// entries for a word. Throws for unknown signals.
+std::vector<ObservedSignal> observe_all_bits(const model::Model& model,
+                                             const std::string& name);
+
+/// A single observed signal for a boolean; throws if `name` is a word
+/// signal (use `observe_all_bits` or name the bit explicitly).
+ObservedSignal observe_bool(const model::Model& model,
+                            const std::string& name);
+
+/// Parses "name" or "name[bit]" against the model's signal table.
+ObservedSignal parse_observed(const model::Model& model,
+                              const std::string& text);
+
+}  // namespace covest::core

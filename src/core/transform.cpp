@@ -1,0 +1,80 @@
+#include "core/transform.h"
+
+#include <stdexcept>
+
+namespace covest::core {
+
+using ctl::CtlOp;
+using ctl::Formula;
+using expr::Expr;
+
+namespace {
+
+/// Expands DEFINEs (preserving the observed define, if any) and swaps
+/// observed occurrences for the primed routing expression.
+Expr prime_atom(const Expr& atom, const ObservedSignal& q,
+                const model::Model& model) {
+  const Expr expanded = model.expand_defines(atom, &q.name);
+  return expr::substitute_signal(expanded, q.name,
+                                 primed_replacement(model, q));
+}
+
+/// `!g` as a propositional negation of a collapsed formula. The Until
+/// rule needs `f & !g` where both sides are formulas; since acceptable
+/// Until operands can be temporal, we express the conjunct structurally.
+Formula not_formula(const Formula& g) {
+  if (g.op() == CtlOp::kProp) return Formula::prop(!g.prop());
+  return !g;
+}
+
+Formula transform(const Formula& f, const ObservedSignal& q,
+                  const model::Model& model) {
+  switch (f.op()) {
+    case CtlOp::kProp:
+      return Formula::prop(prime_atom(f.prop(), q, model));
+    case CtlOp::kImplies:
+      // Antecedent keeps the plain q: it selects *where* to check, and
+      // does not itself contribute coverage.
+      return f.arg(0).implies(transform(f.arg(1), q, model));
+    case CtlOp::kAX:
+      return Formula::AX(transform(f.arg(0), q, model));
+    case CtlOp::kAG:
+      return Formula::AG(transform(f.arg(0), q, model));
+    case CtlOp::kAF: {
+      // AF f == A[true U f]: the traverse part degenerates, leaving
+      // AF f & A[!f U φ(f)].
+      const Formula& body = f.arg(0);
+      return Formula::AF(body) &
+             Formula::AU(not_formula(body), transform(body, q, model));
+    }
+    case CtlOp::kAU: {
+      const Formula& lhs = f.arg(0);
+      const Formula& rhs = f.arg(1);
+      const Formula first =
+          Formula::AU(transform(lhs, q, model), rhs);
+      const Formula second = Formula::AU(lhs & not_formula(rhs),
+                                         transform(rhs, q, model));
+      return first & second;
+    }
+    case CtlOp::kAnd:
+      return transform(f.arg(0), q, model) & transform(f.arg(1), q, model);
+    default:
+      throw std::logic_error("transform: operator outside acceptable ACTL");
+  }
+}
+
+}  // namespace
+
+Formula observability_transform(const Formula& f, const ObservedSignal& q,
+                                const model::Model& model) {
+  const Formula collapsed = ctl::collapse_propositional(f);
+  const std::string violation = ctl::acceptable_actl_violation(collapsed);
+  if (!violation.empty()) {
+    throw std::runtime_error(
+        "observability transform requires the acceptable ACTL subset: " +
+        violation + " in '" + ctl::to_string(f) + "'");
+  }
+  return transform(collapsed, q, model);
+}
+
+}  // namespace covest::core

@@ -1,0 +1,41 @@
+// The observability transformation φ (Definition 5 of the paper).
+//
+// Given an acceptable-ACTL formula f and an observed signal q, φ
+// introduces a twin signal q' (same labelling function as q) and replaces
+// the occurrences of q that should *contribute coverage* with q':
+//
+//   φ(b)          = b[q -> q']
+//   φ(b -> f)     = b -> φ(f)                (antecedent keeps plain q)
+//   φ(AX f)       = AX φ(f)
+//   φ(AG f)       = AG φ(f)
+//   φ(A[f U g])   = A[φ(f) U g]  &  A[(f & !g) U φ(g)]
+//   φ(f & g)      = φ(f) & φ(g)
+//   φ(AF f)       = φ(A[true U f]) = AF f  &  A[!f U φ(f)]
+//
+// The transformed formula is semantically equivalent to the original
+// (q' == q in the real machine), but the dual FSM of Definition 2 flips
+// only q', which isolates the coverage contribution of each part of an
+// Until — fixing the zero-coverage anomaly of Figure 2.
+//
+// The symbolic algorithm (coverage.h) never needs this transform: per the
+// paper's Correctness Theorem it computes the covered set of φ(f) while
+// recursing over f itself. The transform exists as a first-class, testable
+// artifact: the brute-force Definition-3 oracle evaluates it directly, and
+// the equivalence of the two paths *is* the Correctness Theorem.
+#pragma once
+
+#include "core/observed.h"
+#include "ctl/ctl.h"
+#include "model/model.h"
+
+namespace covest::core {
+
+/// Applies φ. The formula must be in the acceptable ACTL subset (throws
+/// otherwise, with the violation message). DEFINEs other than an observed
+/// DEFINE are expanded inside atoms first, so every occurrence of `q` is
+/// visible to the substitution.
+ctl::Formula observability_transform(const ctl::Formula& f,
+                                     const ObservedSignal& q,
+                                     const model::Model& model);
+
+}  // namespace covest::core

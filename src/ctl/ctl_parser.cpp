@@ -1,0 +1,141 @@
+#include "ctl/ctl_parser.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "expr/expr_parser.h"
+
+namespace covest::ctl {
+
+namespace {
+
+using expr::Token;
+using expr::TokenKind;
+using expr::TokenStream;
+
+const std::set<std::string>& temporal_keywords() {
+  static const std::set<std::string> kws{"AX", "EX", "AF", "EF", "AG",
+                                         "EG", "A",  "E",  "U"};
+  return kws;
+}
+
+class CtlParser {
+ public:
+  explicit CtlParser(TokenStream& ts) : ts_(ts) {}
+
+  Formula parse() { return parse_iff(); }
+
+ private:
+  Formula parse_iff() {
+    Formula lhs = parse_implies();
+    while (ts_.accept_punct("<->")) {
+      lhs = Formula::make(CtlOp::kIff, {lhs, parse_implies()});
+    }
+    return lhs;
+  }
+
+  Formula parse_implies() {
+    Formula lhs = parse_or();
+    if (ts_.accept_punct("->")) {
+      return lhs.implies(parse_implies());
+    }
+    return lhs;
+  }
+
+  Formula parse_or() {
+    Formula lhs = parse_and();
+    while (ts_.peek().is_punct("|") || ts_.peek().is_punct("||")) {
+      ts_.next();
+      lhs = lhs | parse_and();
+    }
+    return lhs;
+  }
+
+  Formula parse_and() {
+    Formula lhs = parse_unary();
+    while (ts_.peek().is_punct("&") || ts_.peek().is_punct("&&")) {
+      ts_.next();
+      lhs = lhs & parse_unary();
+    }
+    return lhs;
+  }
+
+  Formula parse_unary() {
+    if (ts_.accept_punct("!")) return !parse_unary();
+    const Token& t = ts_.peek();
+    if (t.kind == TokenKind::kIdent) {
+      if (t.text == "AX" || t.text == "EX" || t.text == "AF" ||
+          t.text == "EF" || t.text == "AG" || t.text == "EG") {
+        const std::string op = ts_.next().text;
+        Formula sub = parse_unary();
+        if (op == "AX") return Formula::AX(sub);
+        if (op == "EX") return Formula::EX(sub);
+        if (op == "AF") return Formula::AF(sub);
+        if (op == "EF") return Formula::EF(sub);
+        if (op == "AG") return Formula::AG(sub);
+        return Formula::EG(sub);
+      }
+      if (t.text == "A" || t.text == "E") {
+        const bool universal = ts_.next().text == "A";
+        ts_.expect_punct("[");
+        Formula left = parse_iff();
+        if (!ts_.accept_ident("U")) ts_.fail("expected 'U' in until formula");
+        Formula right = parse_iff();
+        ts_.expect_punct("]");
+        return universal ? Formula::AU(left, right) : Formula::EU(left, right);
+      }
+    }
+    return parse_primary();
+  }
+
+  Formula parse_primary() {
+    if (ts_.peek().is_punct("(")) {
+      // Ambiguity: '(' may open a subformula or an arithmetic atom like
+      // `(x + y) == 3`. Try the formula reading; backtrack if it fails or
+      // if the closing paren is followed by a token that can only
+      // continue an expression.
+      const std::size_t mark = ts_.position();
+      try {
+        ts_.next();  // '('
+        Formula inner = parse_iff();
+        ts_.expect_punct(")");
+        static const char* kExprContinuations[] = {"==", "!=", "<",  "<=",
+                                                   ">",  ">=", "+",  "-",
+                                                   "*",  "?",  "^",  "["};
+        for (const char* cont : kExprContinuations) {
+          if (ts_.peek().is_punct(cont)) {
+            throw std::runtime_error("expression continuation");
+          }
+        }
+        return inner;
+      } catch (const std::exception&) {
+        ts_.rewind(mark);
+        return parse_atom();
+      }
+    }
+    return parse_atom();
+  }
+
+  Formula parse_atom() {
+    expr::ExprParser parser(ts_, temporal_keywords());
+    return Formula::prop(parser.parse_atom());
+  }
+
+  TokenStream& ts_;
+};
+
+}  // namespace
+
+Formula parse_ctl(expr::TokenStream& ts) {
+  CtlParser parser(ts);
+  return collapse_propositional(parser.parse());
+}
+
+Formula parse_ctl(const std::string& text) {
+  expr::TokenStream ts(text);
+  Formula f = parse_ctl(ts);
+  if (!ts.at_end()) ts.fail("unexpected trailing input after CTL formula");
+  return f;
+}
+
+}  // namespace covest::ctl

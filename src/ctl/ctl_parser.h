@@ -1,0 +1,43 @@
+// Parser for CTL property text.
+//
+// Formula grammar (loosest first), sharing the expression parser for
+// atomic propositions:
+//
+//   formula := imp ( '<->' imp )*
+//   imp     := or [ '->' imp ]                      -- right associative
+//   or      := and ( ('|'|'||') and )*
+//   and     := unary ( ('&'|'&&') unary )*
+//   unary   := '!' unary
+//            | ('AX'|'EX'|'AF'|'EF'|'AG'|'EG') unary
+//            | ('A'|'E') '[' formula 'U' formula ']'
+//            | primary
+//   primary := '(' formula ')'   -- with backtracking, see below
+//            | atom              -- comparison-level expression
+//
+// A '(' can open either a temporal subformula or a parenthesised
+// arithmetic atom such as `(x + y) == 3`; the parser first tries the
+// formula reading and backtracks when the closing paren is followed by an
+// arithmetic/comparison token (or when the formula reading fails).
+//
+// `AX`, `EX`, `AF`, `EF`, `AG`, `EG`, `A`, `E` and `U` are reserved words
+// inside properties and cannot name signals there.
+//
+// The returned formula is already `collapse_propositional`ed.
+#pragma once
+
+#include <string>
+
+#include "ctl/ctl.h"
+#include "expr/lexer.h"
+
+namespace covest::ctl {
+
+/// Parses a standalone CTL formula; throws `std::runtime_error` with
+/// line/column context on errors (including trailing input).
+Formula parse_ctl(const std::string& text);
+
+/// Parses a formula from an existing token stream (used by tools that
+/// embed CTL in larger files).
+Formula parse_ctl(expr::TokenStream& ts);
+
+}  // namespace covest::ctl

@@ -1,0 +1,198 @@
+#include "expr/bitblast.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace covest::expr {
+
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+
+void zero_extend(BitVec& v, unsigned width, BddManager& mgr) {
+  while (v.bits.size() < width) v.bits.push_back(mgr.bdd_false());
+}
+
+/// (a < b) as a ripple comparison, LSB to MSB: a higher differing bit
+/// overrides the verdict of the bits below it.
+Bdd less_than(const BitVec& a, const BitVec& b, BddManager& mgr) {
+  Bdd lt = mgr.bdd_false();
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    lt = ite(a.bits[i] ^ b.bits[i], b.bits[i], lt);
+  }
+  return lt;
+}
+
+Bdd equals(const BitVec& a, const BitVec& b, BddManager& mgr) {
+  Bdd eq = mgr.bdd_true();
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    eq &= a.bits[i].iff(b.bits[i]);
+  }
+  return eq;
+}
+
+BitVec add(const BitVec& a, const BitVec& b, BddManager& mgr, bool subtract) {
+  BitVec result;
+  result.is_bool = false;
+  Bdd carry = subtract ? mgr.bdd_true() : mgr.bdd_false();
+  for (std::size_t i = 0; i < a.bits.size(); ++i) {
+    const Bdd bi = subtract ? !b.bits[i] : b.bits[i];
+    result.bits.push_back(a.bits[i] ^ bi ^ carry);
+    carry = (a.bits[i] & bi) | (carry & (a.bits[i] ^ bi));
+  }
+  return result;
+}
+
+BitVec multiply(const BitVec& a, const BitVec& b, BddManager& mgr) {
+  // Shift-and-add of partial products, truncated to the operand width.
+  const unsigned width = a.width();
+  BitVec acc;
+  acc.is_bool = false;
+  acc.bits.assign(width, mgr.bdd_false());
+  for (unsigned shift = 0; shift < width; ++shift) {
+    BitVec partial;
+    partial.is_bool = false;
+    for (unsigned i = 0; i < width; ++i) {
+      partial.bits.push_back(i >= shift ? (a.bits[i - shift] & b.bits[shift])
+                                        : mgr.bdd_false());
+    }
+    acc = add(acc, partial, mgr, /*subtract=*/false);
+  }
+  return acc;
+}
+
+}  // namespace
+
+BitVec bit_blast(const Expr& e, bdd::BddManager& mgr,
+                 const BitsResolver& signals, const TypeResolver& types) {
+  const ExprNode& n = e.node();
+  const auto blast = [&](const Expr& sub) {
+    return bit_blast(sub, mgr, signals, types);
+  };
+  const auto blast_pair = [&](BitVec& a, BitVec& b) {
+    a = blast(n.args[0]);
+    b = blast(n.args[1]);
+    const unsigned w = std::max(a.width(), b.width());
+    zero_extend(a, w, mgr);
+    zero_extend(b, w, mgr);
+  };
+
+  switch (n.op) {
+    case Op::kConst: {
+      BitVec v;
+      v.is_bool = n.const_is_bool;
+      const unsigned width = n.const_is_bool ? 1 : n.const_width;
+      for (unsigned i = 0; i < width; ++i) {
+        v.bits.push_back((n.value >> i) & 1 ? mgr.bdd_true()
+                                            : mgr.bdd_false());
+      }
+      return v;
+    }
+    case Op::kVarRef: {
+      BitVec v = signals(n.name);
+      if (v.bits.empty()) {
+        throw std::runtime_error("bit_blast: unknown signal '" + n.name + "'");
+      }
+      return v;
+    }
+    case Op::kNot: {
+      BitVec v = blast(n.args[0]);
+      return BitVec{true, {!v.bits[0]}};
+    }
+    case Op::kBitNot: {
+      BitVec v = blast(n.args[0]);
+      for (Bdd& bit : v.bits) bit = !bit;
+      return v;
+    }
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor: {
+      BitVec a, b;
+      blast_pair(a, b);
+      BitVec result;
+      result.is_bool = a.is_bool && b.is_bool;
+      for (unsigned i = 0; i < a.width(); ++i) {
+        switch (n.op) {
+          case Op::kAnd: result.bits.push_back(a.bits[i] & b.bits[i]); break;
+          case Op::kOr: result.bits.push_back(a.bits[i] | b.bits[i]); break;
+          default: result.bits.push_back(a.bits[i] ^ b.bits[i]); break;
+        }
+      }
+      return result;
+    }
+    case Op::kImplies: {
+      BitVec a = blast(n.args[0]), b = blast(n.args[1]);
+      return BitVec{true, {a.bits[0].implies(b.bits[0])}};
+    }
+    case Op::kIff: {
+      BitVec a = blast(n.args[0]), b = blast(n.args[1]);
+      return BitVec{true, {a.bits[0].iff(b.bits[0])}};
+    }
+    case Op::kAdd:
+    case Op::kSub: {
+      BitVec a, b;
+      blast_pair(a, b);
+      return add(a, b, mgr, n.op == Op::kSub);
+    }
+    case Op::kMul: {
+      BitVec a, b;
+      blast_pair(a, b);
+      return multiply(a, b, mgr);
+    }
+    case Op::kEq:
+    case Op::kNe: {
+      BitVec a, b;
+      blast_pair(a, b);
+      const Bdd eq = equals(a, b, mgr);
+      return BitVec{true, {n.op == Op::kEq ? eq : !eq}};
+    }
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      BitVec a, b;
+      blast_pair(a, b);
+      switch (n.op) {
+        case Op::kLt: return BitVec{true, {less_than(a, b, mgr)}};
+        case Op::kGt: return BitVec{true, {less_than(b, a, mgr)}};
+        case Op::kLe: return BitVec{true, {!less_than(b, a, mgr)}};
+        default: return BitVec{true, {!less_than(a, b, mgr)}};
+      }
+    }
+    case Op::kIte: {
+      const Bdd cond = blast(n.args[0]).bits[0];
+      BitVec a = blast(n.args[1]);
+      BitVec b = blast(n.args[2]);
+      const unsigned w = std::max(a.width(), b.width());
+      zero_extend(a, w, mgr);
+      zero_extend(b, w, mgr);
+      BitVec result;
+      result.is_bool = a.is_bool && b.is_bool;
+      for (unsigned i = 0; i < w; ++i) {
+        result.bits.push_back(ite(cond, a.bits[i], b.bits[i]));
+      }
+      return result;
+    }
+    case Op::kExtract: {
+      BitVec v = blast(n.args[0]);
+      if (n.value >= v.bits.size()) {
+        throw std::runtime_error("bit_blast: extract index out of range");
+      }
+      return BitVec{true, {v.bits[static_cast<std::size_t>(n.value)]}};
+    }
+  }
+  throw std::logic_error("bit_blast: unhandled op");
+}
+
+bdd::Bdd bit_blast_bool(const Expr& e, bdd::BddManager& mgr,
+                        const BitsResolver& signals,
+                        const TypeResolver& types) {
+  const Type t = infer_type(e, types);
+  if (!t.is_bool) {
+    throw std::runtime_error("expected a boolean expression: " + to_string(e));
+  }
+  return bit_blast(e, mgr, signals, types).bits[0];
+}
+
+}  // namespace covest::expr

@@ -1,0 +1,36 @@
+// Bit-blasting word-level expressions into vectors of BDDs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "expr/expr.h"
+
+namespace covest::expr {
+
+/// Result of blasting: one BDD per bit, LSB first; booleans have one bit.
+struct BitVec {
+  bool is_bool = true;
+  std::vector<bdd::Bdd> bits;
+
+  unsigned width() const { return static_cast<unsigned>(bits.size()); }
+};
+
+/// Resolves a signal name to its bit functions (LSB first). Must agree in
+/// width with the TypeResolver used for inference.
+using BitsResolver = std::function<BitVec(const std::string&)>;
+
+/// Blasts `e` to BDD bits. Throws on type errors (same rules as
+/// `infer_type`). Arithmetic wraps modulo 2^W; operands of differing width
+/// are zero-extended to the wider width.
+BitVec bit_blast(const Expr& e, bdd::BddManager& mgr,
+                 const BitsResolver& signals, const TypeResolver& types);
+
+/// Blasts a boolean expression to a single BDD (throws if not boolean).
+bdd::Bdd bit_blast_bool(const Expr& e, bdd::BddManager& mgr,
+                        const BitsResolver& signals,
+                        const TypeResolver& types);
+
+}  // namespace covest::expr

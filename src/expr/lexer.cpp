@@ -1,0 +1,161 @@
+#include "expr/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace covest::expr {
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1, column = 1;
+  std::size_t i = 0;
+
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (source[i + k] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    i += n;
+  };
+
+  // Multi-character operators, longest first.
+  static const char* kMultiOps[] = {"<->", "&&", "||", "->", "==", "!=",
+                                    "<=", ">=", ":=", ".."};
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments: "--" or "//" to end of line.
+    if (i + 1 < source.size() &&
+        ((c == '-' && source[i + 1] == '-') ||
+         (c == '/' && source[i + 1] == '/'))) {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.line = line;
+      t.column = column;
+      std::size_t j = i;
+      while (j < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[j])) ||
+              source[j] == '_' || source[j] == '\'')) {
+        ++j;
+      }
+      t.text = source.substr(i, j - i);
+      advance(j - i);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.line = line;
+      t.column = column;
+      std::size_t j = i;
+      std::uint64_t value = 0;
+      while (j < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[j]))) {
+        value = value * 10 + static_cast<std::uint64_t>(source[j] - '0');
+        ++j;
+      }
+      t.text = source.substr(i, j - i);
+      t.value = value;
+      advance(j - i);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    bool matched = false;
+    for (const char* op : kMultiOps) {
+      const std::size_t len = std::string(op).size();
+      if (source.compare(i, len, op) == 0) {
+        Token t;
+        t.kind = TokenKind::kPunct;
+        t.text = op;
+        t.line = line;
+        t.column = column;
+        advance(len);
+        tokens.push_back(std::move(t));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingleOps = "()[]{};:,?!~&|^+-*<>=.";
+    if (kSingleOps.find(c) != std::string::npos) {
+      Token t;
+      t.kind = TokenKind::kPunct;
+      t.text = std::string(1, c);
+      t.line = line;
+      t.column = column;
+      advance(1);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    throw std::runtime_error("lex error at line " + std::to_string(line) +
+                             ", column " + std::to_string(column) +
+                             ": unexpected character '" + std::string(1, c) +
+                             "'");
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line;
+  end.column = column;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+const Token& TokenStream::peek(std::size_t ahead) const {
+  const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[idx];
+}
+
+Token TokenStream::next() {
+  const Token t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool TokenStream::accept_punct(const std::string& p) {
+  if (peek().is_punct(p)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::accept_ident(const std::string& id) {
+  if (peek().is_ident(id)) {
+    next();
+    return true;
+  }
+  return false;
+}
+
+Token TokenStream::expect_punct(const std::string& p) {
+  if (!peek().is_punct(p)) fail("expected '" + p + "'");
+  return next();
+}
+
+Token TokenStream::expect_ident() {
+  if (peek().kind != TokenKind::kIdent) fail("expected identifier");
+  return next();
+}
+
+void TokenStream::fail(const std::string& message) const {
+  const Token& t = peek();
+  throw std::runtime_error(
+      "syntax error at line " + std::to_string(t.line) + ", column " +
+      std::to_string(t.column) + ": " + message + " (found '" +
+      (t.kind == TokenKind::kEnd ? "<end>" : t.text) + "')");
+}
+
+}  // namespace covest::expr

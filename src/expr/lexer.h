@@ -1,0 +1,66 @@
+// Tokenizer shared by the model-file parser and the CTL property parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace covest::expr {
+
+enum class TokenKind {
+  kIdent,   ///< Identifiers and keywords (keywords are contextual).
+  kNumber,  ///< Unsigned decimal integer literal.
+  kPunct,   ///< Operator or punctuation, in `text`.
+  kEnd,     ///< End of input.
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::uint64_t value = 0;  ///< For kNumber.
+  int line = 0;
+  int column = 0;
+
+  bool is_punct(const std::string& p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  bool is_ident(const std::string& id) const {
+    return kind == TokenKind::kIdent && text == id;
+  }
+};
+
+/// Splits `source` into tokens. Comments run from `--` or `//` to the end
+/// of the line. Throws `std::runtime_error` with line/column context on
+/// illegal characters.
+std::vector<Token> tokenize(const std::string& source);
+
+/// A token cursor shared between cooperating recursive-descent parsers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+  explicit TokenStream(const std::string& source)
+      : tokens_(tokenize(source)) {}
+
+  const Token& peek(std::size_t ahead = 0) const;
+  Token next();
+  bool accept_punct(const std::string& p);
+  bool accept_ident(const std::string& id);
+  /// Consumes a token or throws a located syntax error.
+  Token expect_punct(const std::string& p);
+  Token expect_ident();
+
+  bool at_end() const { return peek().kind == TokenKind::kEnd; }
+  [[noreturn]] void fail(const std::string& message) const;
+
+  /// Snapshot/rewind for the CTL parser's backtracking over '(' — a paren
+  /// can open either a temporal subformula or an arithmetic atom.
+  std::size_t position() const { return pos_; }
+  void rewind(std::size_t pos) { pos_ = pos; }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace covest::expr

@@ -1,0 +1,270 @@
+#include "fsm/symbolic_fsm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace covest::fsm {
+
+using bdd::Bdd;
+using bdd::Var;
+
+SymbolicFsm::SymbolicFsm(const model::Model& model)
+    : model_(model), mgr_(std::make_unique<bdd::BddManager>()) {
+  model_.validate();
+  allocate_variables();
+  build_transition();
+  build_initial_states();
+  build_schedules();
+
+  for (const expr::Expr& f : model_.fairness()) {
+    fairness_.push_back(blast_bool(f));
+  }
+  dontcare_ = mgr_->bdd_false();
+  for (const expr::Expr& d : model_.dontcares()) {
+    dontcare_ |= blast_bool(d);
+  }
+}
+
+void SymbolicFsm::allocate_variables() {
+  for (const model::Signal& s : model_.signals()) {
+    if (s.kind == model::SignalKind::kDefine) continue;
+    SignalLayout layout;
+    layout.name = s.name;
+    layout.kind = s.kind;
+    layout.is_bool = s.type.is_bool;
+    const unsigned width = s.type.is_bool ? 1 : s.type.width;
+    for (unsigned i = 0; i < width; ++i) {
+      const std::string bit_name =
+          width == 1 ? s.name : s.name + "[" + std::to_string(i) + "]";
+      // Interleave current and next: good static order for transition
+      // relations, and adjacent-pair renaming stays cheap.
+      const Var cur = mgr_->new_var(bit_name);
+      const Var nxt = mgr_->new_var(bit_name + "'");
+      layout.current.push_back(cur);
+      layout.next.push_back(nxt);
+      current_vars_.push_back(cur);
+      next_vars_.push_back(nxt);
+    }
+    layout_index_.emplace(layout.name, layouts_.size());
+    layouts_.push_back(std::move(layout));
+  }
+
+  perm_to_next_.resize(mgr_->num_vars());
+  perm_to_current_.resize(mgr_->num_vars());
+  for (Var v = 0; v < mgr_->num_vars(); ++v) {
+    perm_to_next_[v] = v;
+    perm_to_current_[v] = v;
+  }
+  for (std::size_t i = 0; i < current_vars_.size(); ++i) {
+    perm_to_next_[current_vars_[i]] = next_vars_[i];
+    perm_to_current_[next_vars_[i]] = current_vars_[i];
+  }
+}
+
+const SignalLayout& SymbolicFsm::layout(const std::string& name) const {
+  auto it = layout_index_.find(name);
+  if (it == layout_index_.end()) {
+    throw std::runtime_error("no such signal in FSM: '" + name + "'");
+  }
+  return layouts_[it->second];
+}
+
+expr::BitVec SymbolicFsm::blast(const expr::Expr& e) const {
+  const expr::Expr expanded = model_.expand_defines(e);
+  return expr::bit_blast(
+      expanded, *mgr_,
+      [this](const std::string& name) -> expr::BitVec {
+        auto it = layout_index_.find(name);
+        if (it == layout_index_.end()) return {};
+        const SignalLayout& l = layouts_[it->second];
+        expr::BitVec bits;
+        bits.is_bool = l.is_bool;
+        for (Var v : l.current) bits.bits.push_back(mgr_->var(v));
+        return bits;
+      },
+      model_.type_resolver());
+}
+
+bdd::Bdd SymbolicFsm::blast_bool(const expr::Expr& e) const {
+  const expr::BitVec v = blast(e);
+  if (!v.is_bool || v.bits.size() != 1) {
+    throw std::runtime_error("expected a boolean expression: " +
+                             expr::to_string(e));
+  }
+  return v.bits[0];
+}
+
+void SymbolicFsm::build_transition() {
+  for (const model::Signal& s : model_.signals()) {
+    if (s.kind != model::SignalKind::kState || !s.next.valid()) continue;
+    const SignalLayout& l = layout(s.name);
+    expr::BitVec bits = blast(s.next);
+    while (bits.bits.size() < l.next.size()) {
+      bits.bits.push_back(mgr_->bdd_false());  // Zero-extend narrow results.
+    }
+    for (std::size_t i = 0; i < l.next.size(); ++i) {
+      parts_.push_back(mgr_->var(l.next[i]).iff(bits.bits[i]));
+    }
+  }
+}
+
+void SymbolicFsm::build_initial_states() {
+  init_ = mgr_->bdd_true();
+  for (const model::Signal& s : model_.signals()) {
+    if (s.kind != model::SignalKind::kState || !s.init.valid()) continue;
+    const SignalLayout& l = layout(s.name);
+    expr::BitVec bits = blast(s.init);
+    while (bits.bits.size() < l.current.size()) {
+      bits.bits.push_back(mgr_->bdd_false());
+    }
+    for (std::size_t i = 0; i < l.current.size(); ++i) {
+      init_ &= mgr_->var(l.current[i]).iff(bits.bits[i]);
+    }
+  }
+  for (const expr::Expr& c : model_.init_constraints()) {
+    init_ &= blast_bool(c);
+  }
+  if (init_.is_false()) {
+    throw std::runtime_error("model '" + model_.name() +
+                             "' has no initial states");
+  }
+}
+
+void SymbolicFsm::build_schedules() {
+  // For each variable to quantify, find the last transition part whose
+  // support contains it; it can be quantified out right after that part
+  // is conjoined (early quantification). Variables in no part at all are
+  // quantified directly from the argument set.
+  const auto make_schedule = [this](const std::vector<Var>& quantify,
+                                    std::vector<Bdd>& cubes, Bdd& rest_cube) {
+    std::vector<int> last(mgr_->num_vars(), -1);
+    for (std::size_t k = 0; k < parts_.size(); ++k) {
+      for (Var v : mgr_->support(parts_[k])) {
+        last[v] = static_cast<int>(k);
+      }
+    }
+    std::vector<std::vector<Var>> per_part(parts_.size());
+    std::vector<Var> rest;
+    for (Var v : quantify) {
+      if (last[v] >= 0) {
+        per_part[static_cast<std::size_t>(last[v])].push_back(v);
+      } else {
+        rest.push_back(v);
+      }
+    }
+    cubes.clear();
+    for (const auto& vars : per_part) cubes.push_back(mgr_->cube(vars));
+    rest_cube = mgr_->cube(rest);
+  };
+
+  make_schedule(current_vars_, img_cubes_, img_rest_cube_);
+  make_schedule(next_vars_, pre_cubes_, pre_rest_cube_);
+}
+
+const Bdd& SymbolicFsm::transition_relation() const {
+  if (!monolithic_) {
+    Bdd t = mgr_->bdd_true();
+    for (const Bdd& p : parts_) t &= p;
+    monolithic_ = t;
+  }
+  return *monolithic_;
+}
+
+Bdd SymbolicFsm::to_next(const Bdd& current_set) const {
+  return mgr_->permute(current_set, perm_to_next_);
+}
+
+Bdd SymbolicFsm::to_current(const Bdd& next_set) const {
+  return mgr_->permute(next_set, perm_to_current_);
+}
+
+Bdd SymbolicFsm::forward(const Bdd& states) const {
+  Bdd x = mgr_->exists(states, img_rest_cube_);
+  for (std::size_t k = 0; k < parts_.size(); ++k) {
+    x = mgr_->and_exists(x, parts_[k], img_cubes_[k]);
+  }
+  return to_current(x);
+}
+
+Bdd SymbolicFsm::backward(const Bdd& states) const {
+  Bdd x = mgr_->exists(to_next(states), pre_rest_cube_);
+  for (std::size_t k = 0; k < parts_.size(); ++k) {
+    x = mgr_->and_exists(x, parts_[k], pre_cubes_[k]);
+  }
+  return x;
+}
+
+Bdd SymbolicFsm::reachable(const Bdd& from) const {
+  Bdd reached = from;
+  Bdd frontier = from;
+  while (!frontier.is_false()) {
+    const Bdd image = forward(frontier);
+    frontier = image - reached;
+    reached |= frontier;
+  }
+  return reached;
+}
+
+std::vector<Bdd> SymbolicFsm::forward_rings(const Bdd& from,
+                                            const Bdd* target) const {
+  std::vector<Bdd> rings{from};
+  Bdd reached = from;
+  if (target != nullptr && from.intersects(*target)) return rings;
+  while (true) {
+    const Bdd frontier = forward(rings.back()) - reached;
+    if (frontier.is_false()) break;
+    rings.push_back(frontier);
+    reached |= frontier;
+    if (target != nullptr && frontier.intersects(*target)) break;
+  }
+  return rings;
+}
+
+double SymbolicFsm::count_states(const Bdd& set) const {
+  return mgr_->sat_count(set, current_vars_);
+}
+
+std::unordered_map<std::string, std::uint64_t> SymbolicFsm::decode_state(
+    const std::vector<std::pair<Var, bool>>& assignment) const {
+  std::unordered_map<Var, bool> value;
+  for (const auto& [v, b] : assignment) value[v] = b;
+  std::unordered_map<std::string, std::uint64_t> result;
+  for (const SignalLayout& l : layouts_) {
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < l.current.size(); ++i) {
+      auto it = value.find(l.current[i]);
+      if (it != value.end() && it->second) word |= (1ull << i);
+    }
+    result.emplace(l.name, word);
+  }
+  return result;
+}
+
+std::vector<std::string> SymbolicFsm::format_states(const Bdd& set,
+                                                    std::size_t limit) const {
+  std::vector<std::string> out;
+  for (const auto& minterm :
+       mgr_->enumerate_minterms(set, current_vars_, limit)) {
+    const auto values = decode_state(minterm);
+    std::ostringstream os;
+    bool first = true;
+    for (const SignalLayout& l : layouts_) {
+      if (!first) os << " ";
+      os << l.name << "=" << values.at(l.name);
+      first = false;
+    }
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+Bdd SymbolicFsm::state_cube(
+    const std::vector<std::pair<Var, bool>>& assignment) const {
+  Bdd cube = mgr_->bdd_true();
+  for (const auto& [v, b] : assignment) cube &= mgr_->literal(v, b);
+  return cube;
+}
+
+}  // namespace covest::fsm

@@ -1,0 +1,50 @@
+#include "fsm/trace.h"
+
+#include <sstream>
+
+namespace covest::fsm {
+
+using bdd::Bdd;
+
+std::string Trace::to_string(const SymbolicFsm& fsm) const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    os << "step " << k << ":";
+    for (const SignalLayout& l : fsm.layouts()) {
+      auto it = steps[k].values.find(l.name);
+      if (it != steps[k].values.end()) {
+        os << " " << l.name << "=" << it->second;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<Trace> shortest_trace(const SymbolicFsm& fsm, const Bdd& from,
+                                    const Bdd& target) {
+  if (from.is_false() || target.is_false()) return std::nullopt;
+  const std::vector<Bdd> rings = fsm.forward_rings(from, &target);
+  if (!rings.back().intersects(target)) return std::nullopt;
+
+  bdd::BddManager& mgr = fsm.mgr();
+  const auto& vars = fsm.current_vars();
+
+  // Walk backwards from the target through the rings, materialising one
+  // concrete state per ring.
+  std::vector<std::vector<std::pair<bdd::Var, bool>>> states(rings.size());
+  states.back() = mgr.pick_minterm(rings.back() & target, vars);
+  for (std::size_t k = rings.size() - 1; k > 0; --k) {
+    const Bdd next_cube = fsm.state_cube(states[k]);
+    const Bdd predecessors = fsm.backward(next_cube) & rings[k - 1];
+    states[k - 1] = mgr.pick_minterm(predecessors, vars);
+  }
+
+  Trace trace;
+  for (const auto& assignment : states) {
+    trace.steps.push_back(TraceStep{fsm.decode_state(assignment)});
+  }
+  return trace;
+}
+
+}  // namespace covest::fsm

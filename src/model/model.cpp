@@ -1,0 +1,227 @@
+#include "model/model.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace covest::model {
+
+using expr::Expr;
+using expr::Type;
+
+void Model::add_signal(Signal signal) {
+  if (index_.count(signal.name) != 0) {
+    throw std::runtime_error("duplicate signal '" + signal.name + "'");
+  }
+  index_.emplace(signal.name, signals_.size());
+  signals_.push_back(std::move(signal));
+}
+
+void Model::add_init_constraint(Expr constraint) {
+  init_constraints_.push_back(std::move(constraint));
+}
+
+void Model::add_fairness(Expr constraint) {
+  fairness_.push_back(std::move(constraint));
+}
+
+void Model::add_dontcare(Expr dontcare) {
+  dontcares_.push_back(std::move(dontcare));
+}
+
+void Model::set_next(const std::string& name, Expr next) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::runtime_error("set_next: unknown signal '" + name + "'");
+  }
+  Signal& s = signals_[it->second];
+  if (s.kind != SignalKind::kState) {
+    throw std::runtime_error("set_next: '" + name + "' is not a state signal");
+  }
+  s.next = std::move(next);
+}
+
+void Model::set_init(const std::string& name, Expr init) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    throw std::runtime_error("set_init: unknown signal '" + name + "'");
+  }
+  Signal& s = signals_[it->second];
+  if (s.kind != SignalKind::kState) {
+    throw std::runtime_error("set_init: '" + name + "' is not a state signal");
+  }
+  s.init = std::move(init);
+}
+
+const Signal* Model::find_signal(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &signals_[it->second];
+}
+
+const Signal& Model::signal(const std::string& name) const {
+  const Signal* s = find_signal(name);
+  if (s == nullptr) {
+    throw std::runtime_error("unknown signal '" + name + "'");
+  }
+  return *s;
+}
+
+expr::TypeResolver Model::type_resolver() const {
+  return [this](const std::string& name) -> std::optional<Type> {
+    const Signal* s = find_signal(name);
+    if (s == nullptr) return std::nullopt;
+    return s->type;
+  };
+}
+
+Expr Model::expand_defines(const Expr& e, const std::string* except) const {
+  // Iterate to a fixed point; cycle detection via a depth bound equal to
+  // the number of defines (a legal chain can be at most that long).
+  Expr current = e;
+  std::size_t num_defines = 0;
+  for (const Signal& s : signals_) {
+    if (s.kind == SignalKind::kDefine) ++num_defines;
+  }
+  for (std::size_t round = 0; round <= num_defines; ++round) {
+    bool changed = false;
+    for (const std::string& name : expr::referenced_signals(current)) {
+      if (except != nullptr && name == *except) continue;
+      const Signal* s = find_signal(name);
+      if (s != nullptr && s->kind == SignalKind::kDefine) {
+        current = expr::substitute_signal(current, name, s->define);
+        changed = true;
+      }
+    }
+    if (!changed) return current;
+  }
+  throw std::runtime_error("cyclic DEFINE detected while expanding '" +
+                           expr::to_string(e) + "'");
+}
+
+unsigned Model::state_bit_count() const {
+  unsigned bits = 0;
+  for (const Signal& s : signals_) {
+    if (s.kind == SignalKind::kState) {
+      bits += s.type.is_bool ? 1 : s.type.width;
+    }
+  }
+  return bits;
+}
+
+void Model::validate() const {
+  const expr::TypeResolver types = type_resolver();
+  for (const Signal& s : signals_) {
+    if (s.kind == SignalKind::kState) {
+      if (s.next.valid()) {
+        const Type t = expr::infer_type(expand_defines(s.next), types);
+        if (t.is_bool != s.type.is_bool ||
+            (!t.is_bool && t.width > s.type.width)) {
+          throw std::runtime_error("next(" + s.name + ") has type " +
+                                   to_string(t) + ", signal has type " +
+                                   to_string(s.type));
+        }
+      }
+      if (s.init.valid()) {
+        const Type t = expr::infer_type(expand_defines(s.init), types);
+        if (t.is_bool != s.type.is_bool ||
+            (!t.is_bool && t.width > s.type.width)) {
+          throw std::runtime_error("init(" + s.name + ") has type " +
+                                   to_string(t) + ", signal has type " +
+                                   to_string(s.type));
+        }
+      }
+    }
+    if (s.kind == SignalKind::kDefine) {
+      expr::infer_type(expand_defines(s.define), types);  // Checks cycles too.
+    }
+  }
+  for (const Expr& e : init_constraints_) {
+    if (!expr::infer_type(expand_defines(e), types).is_bool) {
+      throw std::runtime_error("INIT constraint must be boolean: " +
+                               to_string(e));
+    }
+  }
+  for (const Expr& e : fairness_) {
+    if (!expr::infer_type(expand_defines(e), types).is_bool) {
+      throw std::runtime_error("FAIRNESS constraint must be boolean: " +
+                               to_string(e));
+    }
+  }
+  for (const Expr& e : dontcares_) {
+    if (!expr::infer_type(expand_defines(e), types).is_bool) {
+      throw std::runtime_error("DONTCARE must be boolean: " + to_string(e));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ModelBuilder
+// ---------------------------------------------------------------------------
+
+Expr ModelBuilder::state_bool(const std::string& name,
+                              std::optional<bool> init) {
+  Signal s;
+  s.name = name;
+  s.kind = SignalKind::kState;
+  s.type = Type::boolean();
+  if (init) s.init = Expr::bool_const(*init);
+  model_.add_signal(std::move(s));
+  return Expr::var(name);
+}
+
+Expr ModelBuilder::state_word(const std::string& name, unsigned width,
+                              std::optional<std::uint64_t> init) {
+  Signal s;
+  s.name = name;
+  s.kind = SignalKind::kState;
+  s.type = Type::word(width);
+  if (init) s.init = Expr::word_const(*init, width);
+  model_.add_signal(std::move(s));
+  return Expr::var(name);
+}
+
+Expr ModelBuilder::input_bool(const std::string& name) {
+  Signal s;
+  s.name = name;
+  s.kind = SignalKind::kInput;
+  s.type = Type::boolean();
+  model_.add_signal(std::move(s));
+  return Expr::var(name);
+}
+
+Expr ModelBuilder::input_word(const std::string& name, unsigned width) {
+  Signal s;
+  s.name = name;
+  s.kind = SignalKind::kInput;
+  s.type = Type::word(width);
+  model_.add_signal(std::move(s));
+  return Expr::var(name);
+}
+
+Expr ModelBuilder::define(const std::string& name, Expr value) {
+  Signal s;
+  s.name = name;
+  s.kind = SignalKind::kDefine;
+  // The define's type is inferred lazily during validation; record the
+  // best-effort type now for the resolver (bool if inference fails).
+  s.define = std::move(value);
+  try {
+    s.type = expr::infer_type(model_.expand_defines(s.define),
+                              model_.type_resolver());
+  } catch (const std::exception&) {
+    throw;  // A define must only reference already-declared signals.
+  }
+  model_.add_signal(std::move(s));
+  return Expr::var(name);
+}
+
+void ModelBuilder::spec(std::string ctl_text,
+                        std::vector<std::string> observed,
+                        std::string comment) {
+  SpecEntry entry;
+  entry.ctl_text = std::move(ctl_text);
+  entry.observed = std::move(observed);
+  entry.comment = std::move(comment);
+  model_.add_spec(std::move(entry));
+}
+
+}  // namespace covest::model

@@ -1,0 +1,35 @@
+// Parser for the `.cov` model description language, a compact SMV-like
+// dialect sufficient for the circuits in the paper:
+//
+//   MODULE queue;                     -- optional, names the model
+//   VAR    wptr : uint<3>;            -- latched state, word type
+//   VAR    wrap : bool;               -- latched state, boolean
+//   VAR    cnt  : 0..7;               -- range sugar: uint<3>
+//   IVAR   stall : bool;              -- free primary input
+//   DEFINE full := wptr == rptr & wrap;
+//   INIT   wptr == 0;                 -- initial-state constraint
+//   INIT   wrap := false;             -- initial-value assignment
+//   NEXT   wptr := stall ? wptr : wptr + 1;
+//   FAIRNESS !stall;
+//   DONTCARE cnt > 5;
+//   SPEC AG(full -> AX !push_ok) OBSERVE full;
+//
+// Comments run from `--` or `//` to end of line. Statements end with `;`.
+// SPEC bodies are stored as raw text and parsed by the CTL layer.
+#pragma once
+
+#include <string>
+
+#include "model/model.h"
+
+namespace covest::model {
+
+/// Parses a model from source text; throws `std::runtime_error` with
+/// line/column context on syntax or type errors. The returned model has
+/// been `validate()`d.
+Model parse_model(const std::string& source);
+
+/// Reads and parses a model file.
+Model parse_model_file(const std::string& path);
+
+}  // namespace covest::model

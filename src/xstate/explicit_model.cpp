@@ -1,0 +1,384 @@
+#include "xstate/explicit_model.h"
+
+#include <stdexcept>
+
+namespace covest::xstate {
+
+using expr::Expr;
+using expr::Type;
+
+ExplicitModel::ExplicitModel(const model::Model& model,
+                             std::size_t max_states)
+    : model_(model) {
+  model_.validate();
+
+  for (const model::Signal& s : model_.signals()) {
+    if (s.kind == model::SignalKind::kDefine) {
+      define_expansion_.emplace(s.name, model_.expand_defines(s.define));
+      continue;
+    }
+    const unsigned width = s.type.is_bool ? 1 : s.type.width;
+    signal_bits_.emplace(s.name,
+                         std::make_pair(static_cast<unsigned>(bits_.size()),
+                                        width));
+    for (unsigned i = 0; i < width; ++i) {
+      BitRef ref;
+      ref.signal = s.name;
+      ref.bit = i;
+      ref.is_input = s.kind == model::SignalKind::kInput;
+      ref.has_next = s.kind == model::SignalKind::kState && s.next.valid();
+      bits_.push_back(std::move(ref));
+    }
+  }
+  if (bits_.size() >= 63 || (std::size_t{1} << bits_.size()) > max_states) {
+    throw std::runtime_error(
+        "explicit enumeration limit exceeded: model has " +
+        std::to_string(bits_.size()) + " bits");
+  }
+  num_states_ = std::size_t{1} << bits_.size();
+  build_graph();
+  compute_fair();
+}
+
+std::uint64_t ExplicitModel::raw_value(std::size_t state,
+                                       const std::string& name) const {
+  const auto it = signal_bits_.find(name);
+  if (it == signal_bits_.end()) {
+    throw std::runtime_error("explicit model: unknown signal '" + name + "'");
+  }
+  const auto [offset, width] = it->second;
+  return (state >> offset) & ((1ull << width) - 1);
+}
+
+std::uint64_t ExplicitModel::value(std::size_t state,
+                                   const std::string& name) const {
+  const auto def = define_expansion_.find(name);
+  if (def != define_expansion_.end()) {
+    return expr::eval(
+        def->second,
+        [&](const std::string& n) { return raw_value(state, n); },
+        model_.type_resolver());
+  }
+  return raw_value(state, name);
+}
+
+void ExplicitModel::build_graph() {
+  successors_.resize(num_states_);
+  predecessors_.resize(num_states_);
+  initial_.assign(num_states_, false);
+  reachable_.assign(num_states_, false);
+
+  const expr::TypeResolver types = model_.type_resolver();
+
+  // Positions of "free" bits: inputs and latches without a NEXT function.
+  std::vector<unsigned> free_bits;
+  for (unsigned i = 0; i < bits_.size(); ++i) {
+    if (bits_[i].is_input || !bits_[i].has_next) free_bits.push_back(i);
+  }
+
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    const auto values = [&](const std::string& n) { return raw_value(s, n); };
+    // Base successor: assigned latch bits take their next value, free
+    // bits zero (filled in below).
+    std::size_t base = 0;
+    for (const model::Signal& sig : model_.signals()) {
+      if (sig.kind != model::SignalKind::kState || !sig.next.valid()) {
+        continue;
+      }
+      const Expr next = model_.expand_defines(sig.next);
+      const std::uint64_t v = expr::eval(next, values, types);
+      const auto [offset, width] = signal_bits_.at(sig.name);
+      base |= (v & ((1ull << width) - 1)) << offset;
+    }
+    // Enumerate every combination of the free bits.
+    const std::size_t combos = std::size_t{1} << free_bits.size();
+    successors_[s].reserve(combos);
+    for (std::size_t c = 0; c < combos; ++c) {
+      std::size_t t = base;
+      for (std::size_t k = 0; k < free_bits.size(); ++k) {
+        if ((c >> k) & 1) t |= (std::size_t{1} << free_bits[k]);
+      }
+      successors_[s].push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    for (std::uint32_t t : successors_[s]) predecessors_[t].push_back(s);
+  }
+
+  // Initial states: INIT assignments and constraints on latches; inputs
+  // and unconstrained latches free.
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    const auto values = [&](const std::string& n) { return raw_value(s, n); };
+    bool ok = true;
+    for (const model::Signal& sig : model_.signals()) {
+      if (sig.kind != model::SignalKind::kState || !sig.init.valid()) {
+        continue;
+      }
+      const std::uint64_t want =
+          expr::eval(model_.expand_defines(sig.init), values, types);
+      if (raw_value(s, sig.name) != want) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const Expr& c : model_.init_constraints()) {
+        if (expr::eval(model_.expand_defines(c), values, types) == 0) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    initial_[s] = ok;
+  }
+
+  // Reachability by BFS.
+  std::vector<std::size_t> queue;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (initial_[s]) {
+      reachable_[s] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const std::size_t s = queue.back();
+    queue.pop_back();
+    for (std::uint32_t t : successors_[s]) {
+      if (!reachable_[t]) {
+        reachable_[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+}
+
+void ExplicitModel::compute_fair() {
+  if (model_.fairness().empty()) {
+    fair_.assign(num_states_, true);
+    return;
+  }
+  // Emerson-Lei for EG_fair true over the explicit graph.
+  std::vector<std::vector<bool>> constraints;
+  for (const Expr& c : model_.fairness()) {
+    constraints.push_back(eval_atom(c, nullptr));
+  }
+  std::vector<bool> z(num_states_, true);
+  while (true) {
+    std::vector<bool> next(num_states_, true);
+    for (const auto& c : constraints) {
+      std::vector<bool> target(num_states_);
+      for (std::size_t s = 0; s < num_states_; ++s) target[s] = z[s] && c[s];
+      const std::vector<bool> reach_c =
+          eu_plain(std::vector<bool>(num_states_, true), target);
+      const std::vector<bool> pre = ex_set_plain_helper(reach_c);
+      for (std::size_t s = 0; s < num_states_; ++s) {
+        next[s] = next[s] && pre[s];
+      }
+    }
+    if (next == z) break;
+    z = next;
+  }
+  fair_ = z;
+}
+
+std::vector<bool> ExplicitModel::eval_atom(const expr::Expr& raw,
+                                           const AtomOverride* hook) const {
+  const std::string* preserve =
+      hook != nullptr && hook->preserve_define ? &*hook->preserve_define
+                                               : nullptr;
+  const expr::Expr e = model_.expand_defines(raw, preserve);
+  const expr::TypeResolver base_types = model_.type_resolver();
+  const expr::TypeResolver types =
+      [&](const std::string& n) -> std::optional<Type> {
+    if (hook != nullptr && hook->type) {
+      if (auto t = hook->type(n)) return t;
+    }
+    return base_types(n);
+  };
+  std::vector<bool> result(num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    const auto values = [&](const std::string& n) -> std::uint64_t {
+      if (hook != nullptr && hook->value) {
+        if (auto v = hook->value(s, n)) return *v;
+      }
+      return value(s, n);
+    };
+    result[s] = expr::eval(e, values, types) != 0;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Explicit CTL evaluation
+// ---------------------------------------------------------------------------
+
+std::vector<bool> ExplicitModel::ex_set_plain_helper(
+    const std::vector<bool>& p) const {
+  std::vector<bool> result(num_states_, false);
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    for (std::uint32_t t : successors_[s]) {
+      if (p[t]) {
+        result[s] = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<bool> ExplicitModel::ex(const std::vector<bool>& p) const {
+  std::vector<bool> pf(num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) pf[s] = p[s] && fair_[s];
+  return ex_set_plain_helper(pf);
+}
+
+std::vector<bool> ExplicitModel::eu_plain(const std::vector<bool>& p,
+                                          const std::vector<bool>& q) const {
+  std::vector<bool> z = q;
+  std::vector<std::size_t> queue;
+  for (std::size_t s = 0; s < num_states_; ++s) {
+    if (z[s]) queue.push_back(s);
+  }
+  while (!queue.empty()) {
+    const std::size_t t = queue.back();
+    queue.pop_back();
+    for (std::uint32_t s : predecessors_[t]) {
+      if (!z[s] && p[s]) {
+        z[s] = true;
+        queue.push_back(s);
+      }
+    }
+  }
+  return z;
+}
+
+std::vector<bool> ExplicitModel::eu(const std::vector<bool>& p,
+                                    const std::vector<bool>& q) const {
+  std::vector<bool> qf(num_states_);
+  for (std::size_t s = 0; s < num_states_; ++s) qf[s] = q[s] && fair_[s];
+  return eu_plain(p, qf);
+}
+
+std::vector<bool> ExplicitModel::eg_plain(const std::vector<bool>& p) const {
+  std::vector<bool> z = p;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<bool> pre = ex_set_plain_helper(z);
+    for (std::size_t s = 0; s < num_states_; ++s) {
+      if (z[s] && !pre[s]) {
+        z[s] = false;
+        changed = true;
+      }
+    }
+  }
+  return z;
+}
+
+std::vector<bool> ExplicitModel::eg(const std::vector<bool>& p) const {
+  if (model_.fairness().empty()) return eg_plain(p);
+  // Emerson-Lei with the precomputed constraint sets.
+  std::vector<std::vector<bool>> constraints;
+  for (const Expr& c : model_.fairness()) {
+    constraints.push_back(eval_atom(c, nullptr));
+  }
+  std::vector<bool> z = p;
+  while (true) {
+    std::vector<bool> next = p;
+    for (const auto& c : constraints) {
+      std::vector<bool> target(num_states_);
+      for (std::size_t s = 0; s < num_states_; ++s) target[s] = z[s] && c[s];
+      const std::vector<bool> pre = ex_set_plain_helper(eu_plain(p, target));
+      for (std::size_t s = 0; s < num_states_; ++s) {
+        next[s] = next[s] && pre[s];
+      }
+    }
+    if (next == z) return z;
+    z = next;
+  }
+}
+
+std::vector<bool> ExplicitModel::sat(const ctl::Formula& f,
+                                     const AtomOverride* hook) const {
+  using ctl::CtlOp;
+  const auto combine = [&](const std::vector<bool>& a,
+                           const std::vector<bool>& b, CtlOp op) {
+    std::vector<bool> r(num_states_);
+    for (std::size_t s = 0; s < num_states_; ++s) {
+      switch (op) {
+        case CtlOp::kAnd: r[s] = a[s] && b[s]; break;
+        case CtlOp::kOr: r[s] = a[s] || b[s]; break;
+        case CtlOp::kImplies: r[s] = !a[s] || b[s]; break;
+        default: r[s] = a[s] == b[s]; break;  // kIff
+      }
+    }
+    return r;
+  };
+  const auto negate = [&](std::vector<bool> a) {
+    for (std::size_t s = 0; s < num_states_; ++s) a[s] = !a[s];
+    return a;
+  };
+
+  switch (f.op()) {
+    case CtlOp::kProp:
+      return eval_atom(f.prop(), hook);
+    case CtlOp::kNot:
+      return negate(sat(f.arg(0), hook));
+    case CtlOp::kAnd:
+    case CtlOp::kOr:
+    case CtlOp::kImplies:
+    case CtlOp::kIff:
+      return combine(sat(f.arg(0), hook), sat(f.arg(1), hook), f.op());
+    case CtlOp::kEX:
+      return ex(sat(f.arg(0), hook));
+    case CtlOp::kAX:
+      return negate(ex(negate(sat(f.arg(0), hook))));
+    case CtlOp::kEU:
+      return eu(sat(f.arg(0), hook), sat(f.arg(1), hook));
+    case CtlOp::kEF:
+      return eu(std::vector<bool>(num_states_, true), sat(f.arg(0), hook));
+    case CtlOp::kEG:
+      return eg(sat(f.arg(0), hook));
+    case CtlOp::kAG:
+      return negate(
+          eu(std::vector<bool>(num_states_, true), negate(sat(f.arg(0), hook))));
+    case CtlOp::kAF:
+      return negate(eg(negate(sat(f.arg(0), hook))));
+    case CtlOp::kAU: {
+      const std::vector<bool> np = negate(sat(f.arg(0), hook));
+      const std::vector<bool> nq = negate(sat(f.arg(1), hook));
+      std::vector<bool> both(num_states_);
+      for (std::size_t s = 0; s < num_states_; ++s) both[s] = np[s] && nq[s];
+      std::vector<bool> bad = eu(nq, both);
+      const std::vector<bool> egnq = eg(nq);
+      for (std::size_t s = 0; s < num_states_; ++s) {
+        bad[s] = bad[s] || egnq[s];
+      }
+      return negate(bad);
+    }
+  }
+  throw std::logic_error("unhandled CTL operator");
+}
+
+bool ExplicitModel::holds(const ctl::Formula& f,
+                          const AtomOverride* hook) const {
+  const std::vector<bool> s = sat(f, hook);
+  for (std::size_t i = 0; i < num_states_; ++i) {
+    if (initial_[i] && !s[i]) return false;
+  }
+  return true;
+}
+
+std::size_t ExplicitModel::index_of(
+    const std::unordered_map<std::string, std::uint64_t>& values) const {
+  std::size_t state = 0;
+  for (const auto& [name, v] : values) {
+    const auto it = signal_bits_.find(name);
+    if (it == signal_bits_.end()) continue;  // Defines are derived.
+    const auto [offset, width] = it->second;
+    state |= (v & ((1ull << width) - 1)) << offset;
+  }
+  return state;
+}
+
+}  // namespace covest::xstate

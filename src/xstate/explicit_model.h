@@ -1,0 +1,127 @@
+// Explicit-state reference engine.
+//
+// Enumerates the full state space of a (small) model — every valuation of
+// latch and input bits, exactly the state space the symbolic engine works
+// on — and evaluates CTL by naive set fix-points. It exists to serve as an
+// independent oracle:
+//
+//   * the symbolic model checker is validated against `sat`/`holds`,
+//   * the coverage estimator is validated against the brute-force
+//     dual-FSM Definition-3 computation (see core/coverage_oracle.h),
+//     which re-checks a property once per state with the observed
+//     signal's label flipped there.
+//
+// Atom evaluation supports an override hook so the dual FSM M̂_s of the
+// paper (Definition 2) — identical to M except the observed signal's
+// labelling is flipped at one state — can be expressed without copying
+// the model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ctl/ctl.h"
+#include "expr/expr.h"
+#include "model/model.h"
+
+namespace covest::xstate {
+
+/// Hook consulted before normal signal lookup when evaluating atoms.
+/// Returning a value overrides the signal's value in `state`; returning
+/// nullopt falls back to the model. The hook also resolves signals that
+/// do not exist in the model (the primed observed signal q' of the
+/// observability transformation), in which case it must supply a type
+/// via `override_type`.
+struct AtomOverride {
+  std::function<std::optional<std::uint64_t>(std::size_t state,
+                                             const std::string& name)>
+      value;
+  std::function<std::optional<expr::Type>(const std::string& name)> type;
+  /// A DEFINE name to keep un-expanded in atoms, so `value` can override
+  /// it (the naive Definition-3 mode flips an observed DEFINE directly).
+  std::optional<std::string> preserve_define;
+};
+
+class ExplicitModel {
+ public:
+  /// Enumerates the model's state space; throws if it exceeds
+  /// `max_states` (explicit enumeration is for small reference models).
+  explicit ExplicitModel(const model::Model& model,
+                         std::size_t max_states = std::size_t{1} << 22);
+
+  const model::Model& model() const { return model_; }
+  std::size_t num_states() const { return num_states_; }
+  unsigned num_bits() const { return static_cast<unsigned>(bits_.size()); }
+
+  /// Value of a VAR/IVAR signal in `state` (defines evaluated on demand).
+  std::uint64_t value(std::size_t state, const std::string& name) const;
+
+  const std::vector<std::uint32_t>& successors(std::size_t state) const {
+    return successors_[state];
+  }
+  const std::vector<std::uint32_t>& predecessors(std::size_t state) const {
+    return predecessors_[state];
+  }
+
+  /// Initial states (INIT assignments and constraints; inputs free).
+  const std::vector<bool>& initial() const { return initial_; }
+  /// States reachable from the initial states.
+  const std::vector<bool>& reachable() const { return reachable_; }
+  /// States from which some fair path leaves (all states without
+  /// fairness constraints). Fair-CTL semantics match the symbolic checker.
+  const std::vector<bool>& fair() const { return fair_; }
+
+  /// Satisfaction set of `f`, fair semantics, optional atom override.
+  std::vector<bool> sat(const ctl::Formula& f,
+                        const AtomOverride* override_hook = nullptr) const;
+
+  /// All initial states satisfy `f`.
+  bool holds(const ctl::Formula& f,
+             const AtomOverride* override_hook = nullptr) const;
+
+  /// Packs per-signal values into a state index (inverse of `value`).
+  std::size_t index_of(
+      const std::unordered_map<std::string, std::uint64_t>& values) const;
+
+ private:
+  struct BitRef {
+    std::string signal;
+    unsigned bit = 0;
+    bool is_input = false;
+    bool has_next = false;
+  };
+
+  std::uint64_t raw_value(std::size_t state, const std::string& name) const;
+  void build_graph();
+  void compute_fair();
+  std::vector<bool> eval_atom(const expr::Expr& e,
+                              const AtomOverride* hook) const;
+
+  // CTL set operations.
+  std::vector<bool> ex_set_plain_helper(const std::vector<bool>& p) const;
+  std::vector<bool> ex(const std::vector<bool>& p) const;
+  std::vector<bool> eu(const std::vector<bool>& p,
+                       const std::vector<bool>& q) const;
+  std::vector<bool> eg(const std::vector<bool>& p) const;
+  std::vector<bool> eu_plain(const std::vector<bool>& p,
+                             const std::vector<bool>& q) const;
+  std::vector<bool> eg_plain(const std::vector<bool>& p) const;
+
+  model::Model model_;
+  std::vector<BitRef> bits_;  ///< Bit i of the state index, LSB first.
+  std::unordered_map<std::string, std::pair<unsigned, unsigned>>
+      signal_bits_;  ///< name -> (offset, width) in the state index.
+  std::size_t num_states_ = 0;
+  std::vector<std::vector<std::uint32_t>> successors_;
+  std::vector<std::vector<std::uint32_t>> predecessors_;
+  std::vector<bool> initial_;
+  std::vector<bool> reachable_;
+  std::vector<bool> fair_;
+  std::unordered_map<std::string, expr::Expr> define_expansion_;
+};
+
+}  // namespace covest::xstate

@@ -1,0 +1,216 @@
+// End-to-end flows and cross-cutting properties: text model -> parse ->
+// verify -> coverage -> report, plus metric-level invariants that hold
+// for any suite (monotonicity, containment, option consistency).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/circuits.h"
+#include "core/coverage.h"
+#include "core/observed.h"
+#include "ctl/checker.h"
+#include "ctl/ctl_parser.h"
+#include "fsm/symbolic_fsm.h"
+#include "model/model_parser.h"
+
+namespace covest {
+namespace {
+
+using bdd::Bdd;
+using core::CoverageEstimator;
+using core::ObservedSignal;
+using ctl::Formula;
+using expr::Expr;
+
+// --------------------------------------------------------------------------
+// Text-to-report pipeline
+// --------------------------------------------------------------------------
+
+constexpr const char* kHandshakeSource = R"(
+MODULE handshake;
+VAR  req_r : bool;
+VAR  ack   : bool;
+IVAR req   : bool;
+IVAR grant : bool;
+DEFINE idle := !req_r & !ack;
+INIT req_r := false;
+INIT ack := false;
+NEXT req_r := req;
+NEXT ack := req_r & grant;
+SPEC AG (!req_r -> AX (!ack)) OBSERVE ack;
+SPEC AG (req_r & grant -> AX ack) OBSERVE ack;
+)";
+
+TEST(PipelineIntegrationTest, ParseVerifyCoverFromText) {
+  const model::Model m = model::parse_model(kHandshakeSource);
+  fsm::SymbolicFsm fsm(m);
+  ctl::ModelChecker checker(fsm);
+
+  std::vector<Formula> props;
+  for (const auto& spec : m.specs()) {
+    const Formula f = ctl::parse_ctl(spec.ctl_text);
+    EXPECT_TRUE(checker.holds(f)) << spec.ctl_text;
+    props.push_back(f);
+  }
+
+  CoverageEstimator est(checker);
+  const auto sc = est.coverage(props, core::observe_bool(m, "ack"));
+  // The two properties cover every successor state: one checks ack after
+  // idle requests, the other after granted requests... together they hit
+  // every (req_r, grant) predecessor case.
+  EXPECT_DOUBLE_EQ(sc.percent, 100.0);
+}
+
+TEST(PipelineIntegrationTest, SpecObserveDrivesTheReport) {
+  const model::Model m = model::parse_model(kHandshakeSource);
+  fsm::SymbolicFsm fsm(m);
+  ctl::ModelChecker checker(fsm);
+  CoverageEstimator est(checker);
+
+  std::vector<Formula> props;
+  for (const auto& spec : m.specs()) {
+    props.push_back(ctl::parse_ctl(spec.ctl_text));
+  }
+  std::vector<std::vector<ObservedSignal>> groups{
+      core::observe_all_bits(m, "ack")};
+  const core::CoverageReport rep = est.report(props, groups);
+  ASSERT_EQ(rep.signals.size(), 1u);
+  EXPECT_EQ(rep.signals[0].signal.name, "ack");
+  EXPECT_EQ(rep.signals[0].num_properties, 2u);
+  EXPECT_GT(rep.space_count, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Metric invariants
+// --------------------------------------------------------------------------
+
+class MetricInvariants : public ::testing::Test {
+ protected:
+  MetricInvariants()
+      : spec{3},
+        fsm(circuits::make_circular_queue(spec)),
+        checker(fsm),
+        est(checker),
+        wrap(core::observe_bool(fsm.model(), "wrap")) {}
+  circuits::CircularQueueSpec spec;
+  fsm::SymbolicFsm fsm;
+  ctl::ModelChecker checker;
+  CoverageEstimator est;
+  ObservedSignal wrap;
+};
+
+TEST_F(MetricInvariants, CoveredSetsLieInsideTheCoverageSpace) {
+  for (const Formula& f : circuits::queue_wrap_properties_initial(spec)) {
+    EXPECT_TRUE(est.covered_set(f, wrap).subset_of(est.coverage_space()));
+  }
+}
+
+TEST_F(MetricInvariants, CoverageIsMonotoneInTheSuite) {
+  std::vector<Formula> suite;
+  double last = -1.0;
+  auto all = circuits::queue_wrap_properties_initial(spec);
+  for (const auto& f : circuits::queue_wrap_properties_additional(spec)) {
+    all.push_back(f);
+  }
+  all.push_back(circuits::queue_wrap_stall_property(spec));
+  for (const Formula& f : all) {
+    suite.push_back(f);
+    const double pct = est.coverage(suite, wrap).percent;
+    EXPECT_GE(pct, last);
+    last = pct;
+  }
+}
+
+TEST_F(MetricInvariants, UnionOverPropertiesEqualsSuiteCoverage) {
+  const auto props = circuits::queue_wrap_properties_initial(spec);
+  Bdd by_union = fsm.mgr().bdd_false();
+  for (const Formula& f : props) by_union |= est.covered_set(f, wrap);
+  EXPECT_EQ(est.coverage(props, wrap).covered, by_union);
+}
+
+TEST_F(MetricInvariants, FairOptionIsNoopWithoutFairnessConstraints) {
+  core::CoverageOptions no_fair;
+  no_fair.restrict_to_fair = false;
+  CoverageEstimator est2(checker, no_fair);
+  const auto props = circuits::queue_wrap_properties_initial(spec);
+  EXPECT_EQ(est.coverage(props, wrap).covered,
+            est2.coverage(props, wrap).covered);
+}
+
+TEST_F(MetricInvariants, WordSignalCoverageIsUnionOfBits) {
+  // For the buffer: coverage of the word signal `lo` as a group must
+  // equal the union of its per-bit covered sets.
+  const circuits::PriorityBufferSpec bspec{8, true};
+  fsm::SymbolicFsm bf(circuits::make_priority_buffer(bspec));
+  ctl::ModelChecker bmc(bf);
+  CoverageEstimator best(bmc);
+  const auto props = circuits::buffer_lo_properties_initial(bspec);
+  const auto bits = core::observe_all_bits(bf.model(), "lo");
+
+  Bdd by_bits = bf.mgr().bdd_false();
+  for (const auto& q : bits) by_bits |= best.coverage(props, q).covered;
+
+  const core::CoverageReport rep = best.report(props, {bits});
+  ASSERT_EQ(rep.signals.size(), 1u);
+  EXPECT_EQ(rep.signals[0].covered, by_bits);
+}
+
+// --------------------------------------------------------------------------
+// Randomized suite-level invariants
+// --------------------------------------------------------------------------
+
+class RandomSuiteInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSuiteInvariants, CoverageBoundsAndContainment) {
+  std::mt19937 rng(GetParam() + 5000);
+  model::ModelBuilder b("rand");
+  const Expr x = b.state_bool("x", false);
+  const Expr y = b.state_bool("y", false);
+  const Expr in = b.input_bool("in");
+  const std::vector<Expr> pool{x, y, in, x ^ y, (!x), x & in};
+  std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+  b.next("x", pool[pick(rng)] ^ pool[pick(rng)]);
+  b.next("y", pool[pick(rng)]);
+  const model::Model m = b.build();
+
+  fsm::SymbolicFsm fsm(m);
+  ctl::ModelChecker checker(fsm);
+  core::CoverageOptions lenient;
+  lenient.require_holds = false;
+  CoverageEstimator est(checker, lenient);
+
+  // Random AG-implication properties; failing ones contribute nothing.
+  std::vector<Formula> suite;
+  for (int i = 0; i < 6; ++i) {
+    suite.push_back(ctl::Formula::AG(
+        Formula::prop(pool[pick(rng)])
+            .implies(ctl::Formula::AX(Formula::prop(pool[pick(rng)])))));
+  }
+  for (const char* sig : {"x", "y"}) {
+    const auto sc = est.coverage(suite, core::observe_bool(m, sig));
+    EXPECT_GE(sc.percent, 0.0);
+    EXPECT_LE(sc.percent, 100.0);
+    EXPECT_TRUE(sc.covered.subset_of(est.coverage_space()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSuiteInvariants,
+                         ::testing::Range(0, 15));
+
+// --------------------------------------------------------------------------
+// Dual estimators on one checker
+// --------------------------------------------------------------------------
+
+TEST(EstimatorSharingTest, TwoEstimatorsShareOneChecker) {
+  fsm::SymbolicFsm fsm(circuits::make_mod_counter({3, 5}));
+  ctl::ModelChecker checker(fsm);
+  CoverageEstimator a(checker);
+  CoverageEstimator b(checker);
+  const auto f = ctl::parse_ctl(
+      "AG ((!stall) & (!reset) & count == 1 -> AX (count == 2))");
+  const auto q = core::ObservedSignal{"count", 1};
+  EXPECT_EQ(a.covered_set(f, q), b.covered_set(f, q));
+}
+
+}  // namespace
+}  // namespace covest

@@ -1,0 +1,191 @@
+// Tests for the model layer: builder, validation, DEFINE expansion and the
+// .cov model-file parser.
+#include <gtest/gtest.h>
+
+#include "expr/expr_parser.h"
+#include "model/model.h"
+#include "model/model_parser.h"
+
+namespace covest::model {
+namespace {
+
+using expr::Expr;
+using expr::Type;
+
+// --------------------------------------------------------------------------
+// ModelBuilder
+// --------------------------------------------------------------------------
+
+TEST(ModelBuilderTest, BuildsCounterModel) {
+  ModelBuilder b("counter");
+  auto count = b.state_word("count", 3, 0);
+  auto stall = b.input_bool("stall");
+  b.next("count", ite(stall, count, count + ModelBuilder::lit(1, 3)));
+  const Model m = b.build();
+
+  EXPECT_EQ(m.name(), "counter");
+  EXPECT_EQ(m.state_bit_count(), 3u);
+  EXPECT_EQ(m.signal("count").kind, SignalKind::kState);
+  EXPECT_EQ(m.signal("stall").kind, SignalKind::kInput);
+  EXPECT_TRUE(m.signal("count").next.valid());
+  EXPECT_TRUE(m.signal("count").init.valid());
+  EXPECT_FALSE(m.signal("stall").next.valid());
+}
+
+TEST(ModelBuilderTest, RejectsDuplicateSignals) {
+  ModelBuilder b;
+  b.state_bool("x");
+  EXPECT_THROW(b.state_bool("x"), std::runtime_error);
+}
+
+TEST(ModelBuilderTest, RejectsNextOnInput) {
+  ModelBuilder b;
+  auto x = b.input_bool("x");
+  EXPECT_THROW(b.next("x", !x), std::runtime_error);
+}
+
+TEST(ModelBuilderTest, RejectsTypeMismatchedNext) {
+  ModelBuilder b;
+  b.state_word("w", 3);
+  auto flag = b.input_bool("flag");
+  b.next("w", flag);  // bool into a word signal.
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(ModelBuilderTest, RejectsWiderNext) {
+  ModelBuilder b;
+  b.state_word("w", 2);
+  auto in = b.input_word("in", 4);
+  b.next("w", in);
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(ModelBuilderTest, DefinesExpandTransitively) {
+  ModelBuilder b;
+  auto x = b.state_bool("x");
+  auto y = b.state_bool("y");
+  auto both = b.define("both", x & y);
+  b.define("none", !both);
+  const Model m = b.build();
+
+  const Expr expanded = m.expand_defines(Expr::var("none"));
+  EXPECT_EQ(expr::to_string(expanded), "!(x & y)");
+}
+
+TEST(ModelBuilderTest, DefineReferencingUnknownSignalThrows) {
+  ModelBuilder b;
+  EXPECT_THROW(b.define("bad", Expr::var("ghost")), std::runtime_error);
+}
+
+TEST(ModelBuilderTest, StateBitCountSumsWidths) {
+  ModelBuilder b;
+  b.state_word("a", 4);
+  b.state_bool("f");
+  b.input_word("in", 7);  // Inputs do not count.
+  b.define("d", Expr::var("f"));
+  EXPECT_EQ(b.build().state_bit_count(), 5u);
+}
+
+// --------------------------------------------------------------------------
+// Model-file parser
+// --------------------------------------------------------------------------
+
+constexpr const char* kQueueSource = R"(
+MODULE queue;
+-- pointers and wrap bit
+VAR wptr : uint<3>;
+VAR rptr : uint<3>;
+VAR wrap : bool;
+IVAR push : bool;
+IVAR stall : bool;
+DEFINE equal := wptr == rptr;
+DEFINE full := equal & wrap;
+INIT wptr == 0;
+INIT rptr := 0;
+INIT wrap := false;
+NEXT wptr := (push & !stall & !full) ? wptr + 1 : wptr;
+NEXT wrap := (push & !stall & !full & wptr == 7) ? !wrap : wrap;
+FAIRNESS !stall;
+DONTCARE wptr > 5;
+SPEC AG (full -> AX !push) OBSERVE full;
+SPEC AG (wrap | !wrap) OBSERVE wrap, full;
+)";
+
+TEST(ModelParserTest, ParsesQueueModel) {
+  const Model m = parse_model(kQueueSource);
+  EXPECT_EQ(m.name(), "queue");
+  EXPECT_EQ(m.state_bit_count(), 7u);
+  EXPECT_EQ(m.signal("push").kind, SignalKind::kInput);
+  EXPECT_EQ(m.signal("full").kind, SignalKind::kDefine);
+  EXPECT_EQ(m.signal("full").type, Type::boolean());
+  EXPECT_EQ(m.init_constraints().size(), 1u);
+  EXPECT_TRUE(m.signal("rptr").init.valid());
+  EXPECT_TRUE(m.signal("wrap").init.valid());
+  EXPECT_EQ(m.fairness().size(), 1u);
+  EXPECT_EQ(m.dontcares().size(), 1u);
+}
+
+TEST(ModelParserTest, SpecsKeepRawTextAndObservedSignals) {
+  const Model m = parse_model(kQueueSource);
+  ASSERT_EQ(m.specs().size(), 2u);
+  EXPECT_EQ(m.specs()[0].observed, (std::vector<std::string>{"full"}));
+  EXPECT_EQ(m.specs()[1].observed,
+            (std::vector<std::string>{"wrap", "full"}));
+  EXPECT_NE(m.specs()[0].ctl_text.find("AG"), std::string::npos);
+  EXPECT_NE(m.specs()[0].ctl_text.find("AX"), std::string::npos);
+}
+
+TEST(ModelParserTest, RangeTypeSugar) {
+  const Model m = parse_model("VAR x : 0..7; VAR y : 0..4;");
+  EXPECT_EQ(m.signal("x").type, Type::word(3));
+  EXPECT_EQ(m.signal("y").type, Type::word(3));
+}
+
+TEST(ModelParserTest, BooleanKeywordAliases) {
+  const Model m = parse_model("VAR a : bool; VAR b : boolean;");
+  EXPECT_TRUE(m.signal("a").type.is_bool);
+  EXPECT_TRUE(m.signal("b").type.is_bool);
+}
+
+TEST(ModelParserTest, RejectsUnknownStatement) {
+  EXPECT_THROW(parse_model("FROBNICATE x;"), std::runtime_error);
+}
+
+TEST(ModelParserTest, RejectsNextForUndeclaredSignal) {
+  EXPECT_THROW(parse_model("NEXT ghost := 1;"), std::runtime_error);
+}
+
+TEST(ModelParserTest, RejectsIllTypedNext) {
+  EXPECT_THROW(parse_model("VAR x : bool; NEXT x := 3;"),
+               std::runtime_error);
+}
+
+TEST(ModelParserTest, RejectsRangeNotStartingAtZero) {
+  EXPECT_THROW(parse_model("VAR x : 1..5;"), std::runtime_error);
+}
+
+TEST(ModelParserTest, RejectsZeroWidth) {
+  EXPECT_THROW(parse_model("VAR x : uint<0>;"), std::runtime_error);
+}
+
+TEST(ModelParserTest, RejectsNonBooleanFairness) {
+  EXPECT_THROW(parse_model("VAR x : uint<2>; FAIRNESS x + 1;"),
+               std::runtime_error);
+}
+
+TEST(ModelParserTest, ErrorsIncludeLineNumbers) {
+  try {
+    parse_model("VAR x : bool;\nNEXT x := ;\n");
+    FAIL() << "expected syntax error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ModelParserTest, ParseFileReportsMissingFile) {
+  EXPECT_THROW(parse_model_file("/nonexistent/model.cov"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace covest::model
