@@ -30,7 +30,14 @@ void BM_AdderRelation(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
   for (auto _ : state) {
     BddManager mgr(static_cast<unsigned>(3 * width));
-    benchmark::DoNotOptimize(adder_relation(mgr, width));
+    const Bdd rel = adder_relation(mgr, width);
+    benchmark::DoNotOptimize(rel.index());
+    state.PauseTiming();
+    mgr.live_node_count();
+    state.counters["peak_live_nodes"] = static_cast<double>(
+        mgr.stats().peak_live_nodes);
+    state.counters["cache_hit_rate"] = mgr.stats().cache_hit_rate();
+    state.ResumeTiming();
   }
 }
 BENCHMARK(BM_AdderRelation)->Arg(8)->Arg(16)->Arg(24);
@@ -70,7 +77,13 @@ void BM_QueueReachability(benchmark::State& state) {
   for (auto _ : state) {
     fsm::SymbolicFsm f(
         circuits::make_circular_queue(circuits::CircularQueueSpec{bits}));
-    benchmark::DoNotOptimize(f.reachable(f.initial_states()));
+    const Bdd reached = f.reachable(f.initial_states());
+    benchmark::DoNotOptimize(reached.index());
+    state.PauseTiming();
+    f.mgr().live_node_count();
+    state.counters["peak_live_nodes"] = static_cast<double>(
+        f.mgr().stats().peak_live_nodes);
+    state.ResumeTiming();
   }
 }
 BENCHMARK(BM_QueueReachability)->Arg(2)->Arg(4)->Arg(6);

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the BDD microbenchmark suite and writes BENCH_bdd.json (google-
+# benchmark JSON: cpu_time in ns per op, plus peak_live_nodes /
+# cache_hit_rate counters) so the perf trajectory is tracked PR over PR.
+#
+# Usage: bench/run_bench.sh [build_dir] [output_json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+OUT_JSON="${2:-${REPO_ROOT}/BENCH_bdd.json}"
+MIN_TIME="${BENCH_MIN_TIME:-0.15}"
+
+if [[ ! -x "${BUILD_DIR}/bdd_microbench" ]]; then
+  echo "bdd_microbench not found; building in ${BUILD_DIR}" >&2
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
+  cmake --build "${BUILD_DIR}" --target bdd_microbench -j >/dev/null
+fi
+
+"${BUILD_DIR}/bdd_microbench" \
+  --benchmark_min_time="${MIN_TIME}" \
+  --benchmark_format=json \
+  --benchmark_out="${OUT_JSON}" \
+  --benchmark_out_format=json \
+  >/dev/null
+
+echo "wrote ${OUT_JSON}"
+# Human-readable summary: op/ns and node counters per benchmark.
+python3 - "${OUT_JSON}" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+print(f"{'benchmark':40} {'cpu_time/op':>14} {'peak_live_nodes':>16}")
+for b in data.get("benchmarks", []):
+    peak = b.get("peak_live_nodes", "")
+    peak = f"{peak:.0f}" if isinstance(peak, float) else ""
+    print(f"{b['name']:40} {b['cpu_time']:>11.1f} ns {peak:>16}")
+EOF

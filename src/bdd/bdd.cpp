@@ -23,6 +23,19 @@ std::uint64_t hash_pair(NodeIndex low, NodeIndex high) {
   return mix64((static_cast<std::uint64_t>(low) << 32) | high);
 }
 
+// Full-width mixing of a cache key. Each half of the 128-bit key packs
+// injectively into its own 64-bit word; the second word is spread by a
+// golden-ratio multiply (a bijection) before combining, then the sum is
+// finalized with splitmix64. Distinct keys can only collide through the
+// 128->64 compression itself — unlike a shifted XOR, which aliases
+// operand bits structurally before any mixing happens.
+std::uint64_t hash_cache_key(std::uint32_t op, NodeIndex a, NodeIndex b,
+                             NodeIndex c) {
+  const std::uint64_t k1 = (static_cast<std::uint64_t>(a) << 32) | b;
+  const std::uint64_t k2 = (static_cast<std::uint64_t>(c) << 32) | op;
+  return mix64(k1 ^ (k2 * 0x9e3779b97f4a7c15ull));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -111,11 +124,13 @@ Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h) {
 // ---------------------------------------------------------------------------
 
 BddManager::BddManager(unsigned initial_vars, std::size_t cache_size_log2) {
-  nodes_.resize(2);
-  ext_refs_.resize(2, 1);  // Terminals are permanently referenced.
-  nodes_[kFalseIndex].var = kInvalidVar;
-  nodes_[kTrueIndex].var = kInvalidVar;
-  cache_.resize(std::size_t{1} << cache_size_log2);
+  // Slot 0 is the unique terminal; TRUE and FALSE are its two edges.
+  nodes_.resize(1);
+  stamps_.resize(1);
+  ext_refs_.resize(1, 1);  // The terminal is permanently referenced.
+  nodes_[0].var = kInvalidVar;
+  cache_max_size_ = std::size_t{1} << cache_size_log2;
+  cache_.resize(std::min(cache_max_size_, std::size_t{1} << 12));
   cache_mask_ = cache_.size() - 1;
   gc_threshold_ = 1u << 16;
   for (unsigned i = 0; i < initial_vars; ++i) new_var();
@@ -132,6 +147,7 @@ Var BddManager::new_var(std::string name) {
   Subtable st;
   st.buckets.assign(64, kInvalidIndex);
   subtables_.push_back(std::move(st));
+  var_gen_.push_back(0);
   return v;
 }
 
@@ -140,7 +156,8 @@ Bdd BddManager::var(Var v) {
 }
 
 Bdd BddManager::nvar(Var v) {
-  return Bdd(this, make_node(v, kTrueIndex, kFalseIndex));
+  // Shares the positive literal's node through a complement edge.
+  return Bdd(this, edge_not(make_node(v, kFalseIndex, kTrueIndex)));
 }
 
 Bdd BddManager::cube(const std::vector<Var>& vars) {
@@ -168,13 +185,23 @@ std::size_t BddManager::subtable_bucket(Var v, NodeIndex low,
 
 NodeIndex BddManager::make_node(Var v, NodeIndex low, NodeIndex high) {
   if (low == high) return low;
+  // Canonical form: the stored high edge is never complemented. Negating
+  // both children and complementing the resulting edge preserves the
+  // function: !(v ? h : l) == (v ? !h : !l).
+  NodeIndex out_complement = 0;
+  if (edge_is_complemented(high)) {
+    low = edge_not(low);
+    high = edge_not(high);
+    out_complement = kComplementBit;
+    ++stats_.complement_canonicalizations;
+  }
   Subtable& st = subtables_[v];
   const std::size_t bucket = subtable_bucket(v, low, high);
   for (NodeIndex n = st.buckets[bucket]; n != kInvalidIndex;
        n = nodes_[n].next) {
     if (nodes_[n].low == low && nodes_[n].high == high) {
       ++stats_.unique_hits;
-      return n;
+      return n | out_complement;
     }
   }
   ++stats_.unique_misses;
@@ -187,7 +214,7 @@ NodeIndex BddManager::make_node(Var v, NodeIndex low, NodeIndex high) {
   st.buckets[bucket] = n;
   ++st.count;
   maybe_resize_subtable(v);
-  return n;
+  return n | out_complement;
 }
 
 NodeIndex BddManager::allocate_node() {
@@ -196,9 +223,15 @@ NodeIndex BddManager::allocate_node() {
     free_head_ = nodes_[n].next;
     --free_count_;
     ext_refs_[n] = 0;
+    stamps_[n].gen = 0;
+    stamps_[n].scratch = 0;
     return n;
   }
+  if (nodes_.size() >= edge_node(kInvalidIndex)) {
+    throw std::length_error("BddManager: node pool exceeds 2^31 slots");
+  }
   nodes_.emplace_back();
+  stamps_.emplace_back();
   ext_refs_.push_back(0);
   return static_cast<NodeIndex>(nodes_.size() - 1);
 }
@@ -242,43 +275,65 @@ void BddManager::subtable_remove(Var v, NodeIndex n) {
   assert(false && "node missing from its subtable");
 }
 
+bool BddManager::check_canonical() const {
+  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
+    if (nodes_[n].var == kInvalidVar) continue;  // Free-list slot.
+    if (edge_is_complemented(nodes_[n].high)) return false;
+    if (nodes_[n].low == nodes_[n].high) return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Reference counting and garbage collection
 // ---------------------------------------------------------------------------
 
-void BddManager::ref(NodeIndex n) noexcept { ++ext_refs_[n]; }
+void BddManager::ref(NodeIndex e) noexcept { ++ext_refs_[edge_node(e)]; }
 
-void BddManager::deref(NodeIndex n) noexcept {
-  assert(ext_refs_[n] > 0);
-  --ext_refs_[n];
+void BddManager::deref(NodeIndex e) noexcept {
+  assert(ext_refs_[edge_node(e)] > 0);
+  --ext_refs_[edge_node(e)];
 }
 
-void BddManager::mark(NodeIndex n, std::vector<bool>& marked) const {
-  // Iterative DFS; BDDs for deep fixpoints can exceed the call stack.
-  std::vector<NodeIndex> stack{n};
-  while (!stack.empty()) {
-    const NodeIndex cur = stack.back();
-    stack.pop_back();
-    if (marked[cur]) continue;
-    marked[cur] = true;
-    if (cur > kTrueIndex) {
-      stack.push_back(nodes_[cur].low);
-      stack.push_back(nodes_[cur].high);
-    }
+std::uint32_t BddManager::next_generation() {
+  if (++generation_ == 0) {
+    // Wrapped after ~2^32 traversals: clear every stamp once and restart.
+    for (NodeStamp& s : stamps_) s.gen = 0;
+    for (std::uint32_t& g : var_gen_) g = 0;
+    generation_ = 1;
   }
+  return generation_;
+}
+
+std::size_t BddManager::mark_reachable(NodeIndex e) {
+  // Iterative DFS on the reusable stack; BDDs for deep fixpoints can
+  // exceed the call stack. Visited state is the generation stamp, so no
+  // per-call bitmap is allocated or cleared.
+  std::size_t newly_marked = 0;
+  work_stack_.clear();
+  work_stack_.push_back(edge_node(e));
+  while (!work_stack_.empty()) {
+    const NodeIndex slot = work_stack_.back();
+    work_stack_.pop_back();
+    if (slot == 0 || stamps_[slot].gen == generation_) continue;
+    stamps_[slot].gen = generation_;
+    ++newly_marked;
+    work_stack_.push_back(edge_node(nodes_[slot].low));
+    work_stack_.push_back(edge_node(nodes_[slot].high));
+  }
+  return newly_marked;
 }
 
 std::size_t BddManager::gc() {
   assert(!in_operation_ && "GC must not run inside a BDD operation");
-  std::vector<bool> marked(nodes_.size(), false);
-  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
-    if (ext_refs_[n] > 0 && nodes_[n].var != kInvalidVar) mark(n, marked);
+  next_generation();
+  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
+    if (ext_refs_[n] > 0 && nodes_[n].var != kInvalidVar) mark_reachable(n);
   }
-  marked[kFalseIndex] = marked[kTrueIndex] = true;
 
   std::size_t freed = 0;
-  for (NodeIndex n = 2; n < nodes_.size(); ++n) {
-    if (marked[n] || nodes_[n].var == kInvalidVar) continue;
+  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
+    if (stamps_[n].gen == generation_ || nodes_[n].var == kInvalidVar) continue;
     subtable_remove(nodes_[n].var, n);
     nodes_[n].var = kInvalidVar;
     nodes_[n].low = kInvalidIndex;
@@ -295,27 +350,35 @@ std::size_t BddManager::gc() {
 
 void BddManager::maybe_gc() {
   if (in_operation_) return;
-  const std::size_t live_estimate = nodes_.size() - 2 - free_count_;
+  const std::size_t live_estimate = nodes_.size() - 1 - free_count_;
   if (live_estimate < gc_threshold_) return;
   gc();
-  const std::size_t live = nodes_.size() - 2 - free_count_;
+  const std::size_t live = nodes_.size() - 1 - free_count_;
   if (live * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
 }
 
 void BddManager::clear_cache() {
-  for (CacheEntry& e : cache_) e.op = 0;
+  // O(1): entries from older epochs simply stop matching. Only the
+  // (once per ~2^32 clears) epoch wrap pays for a physical sweep.
+  if (++cache_epoch_ == 0) {
+    for (CacheEntry& e : cache_) e.epoch = 0;
+    cache_epoch_ = 1;
+  }
+  // The hit-rate counters describe one cache epoch; restart them with it.
+  stats_.cache_hits = 0;
+  stats_.cache_lookups = 0;
 }
 
 std::size_t BddManager::live_node_count() {
-  std::vector<bool> marked(nodes_.size(), false);
-  for (NodeIndex n = 0; n < nodes_.size(); ++n) {
-    if (ext_refs_[n] > 0 && nodes_[n].var != kInvalidVar) mark(n, marked);
-  }
+  next_generation();
   std::size_t live = 0;
-  for (NodeIndex n = 2; n < nodes_.size(); ++n) {
-    if (marked[n]) ++live;
+  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
+    if (ext_refs_[n] > 0 && nodes_[n].var != kInvalidVar) {
+      live += mark_reachable(n);
+    }
   }
   stats_.live_nodes = live;
+  stats_.allocated_nodes = nodes_.size() - 1;
   if (live > stats_.peak_live_nodes) stats_.peak_live_nodes = live;
   return live;
 }
@@ -324,20 +387,12 @@ std::size_t BddManager::live_node_count() {
 // Computed cache
 // ---------------------------------------------------------------------------
 
-BddManager::CacheEntry& BddManager::cache_slot(std::uint32_t op, NodeIndex a,
-                                               NodeIndex b, NodeIndex c) {
-  const std::uint64_t h =
-      mix64((static_cast<std::uint64_t>(op) << 48) ^
-            (static_cast<std::uint64_t>(a) << 32) ^
-            (static_cast<std::uint64_t>(b) << 16) ^ c);
-  return cache_[h & cache_mask_];
-}
-
 bool BddManager::cache_find(std::uint32_t op, NodeIndex a, NodeIndex b,
                             NodeIndex c, NodeIndex* out) {
   ++stats_.cache_lookups;
-  const CacheEntry& e = cache_slot(op, a, b, c);
-  if (e.op == op && e.a == a && e.b == b && e.c == c) {
+  const CacheEntry& e = cache_[hash_cache_key(op, a, b, c) & cache_mask_];
+  if (e.epoch == cache_epoch_ && e.op == op && e.a == a && e.b == b &&
+      e.c == c) {
     ++stats_.cache_hits;
     *out = e.result;
     return true;
@@ -345,14 +400,30 @@ bool BddManager::cache_find(std::uint32_t op, NodeIndex a, NodeIndex b,
   return false;
 }
 
+void BddManager::maybe_grow_cache() {
+  if (++cache_stores_since_grow_ <= cache_.size() / 4 ||
+      cache_.size() >= cache_max_size_) {
+    return;
+  }
+  // Store pressure builds towards eviction thrashing: quadruple early
+  // (eviction-induced recomputation costs far more than zeroing the
+  // larger table). The cache is lossy, so dropping the old contents is
+  // sound — most were about to be evicted anyway.
+  cache_.assign(std::min(cache_.size() * 4, cache_max_size_), CacheEntry{});
+  cache_mask_ = cache_.size() - 1;
+  cache_stores_since_grow_ = 0;
+}
+
 void BddManager::cache_store(std::uint32_t op, NodeIndex a, NodeIndex b,
                              NodeIndex c, NodeIndex result) {
-  CacheEntry& e = cache_slot(op, a, b, c);
+  maybe_grow_cache();
+  CacheEntry& e = cache_[hash_cache_key(op, a, b, c) & cache_mask_];
   e.op = op;
   e.a = a;
   e.b = b;
   e.c = c;
   e.result = result;
+  e.epoch = cache_epoch_;
 }
 
 }  // namespace covest::bdd

@@ -1,14 +1,53 @@
-// Shared reduced-ordered binary decision diagrams (ROBDDs).
+// Shared reduced-ordered binary decision diagrams (ROBDDs) with
+// complement edges.
 //
 // This is the symbolic substrate for the whole library: the transition
 // relations, state sets and coverage sets of the paper are all BDDs
 // managed by the `BddManager` defined here.
 //
-// The design follows the classic shared-BDD packages (Bryant '86, CUDD,
-// BuDDy): a single node pool with hash-consed nodes, one unique subtable
-// per variable (which makes adjacent-level swaps local, enabling sifting
-// reordering), a lossy computed-table cache for the recursive operations,
-// and mark-and-sweep garbage collection rooted at RAII `Bdd` handles.
+// The design follows the classic shared-BDD packages (Bryant '86,
+// Brace-Rudell-Bryant '90, CUDD, BuDDy): a single node pool with
+// hash-consed nodes, one unique subtable per variable (which makes
+// adjacent-level swaps local, enabling sifting reordering), a lossy
+// computed-table cache for the recursive operations, and mark-and-sweep
+// garbage collection rooted at RAII `Bdd` handles.
+//
+// Complement-edge encoding
+// ------------------------
+// A `NodeIndex` is an *edge*: the low 31 bits are a slot in the node
+// pool, and the MSB (`kComplementBit`) marks the edge as complemented.
+// An edge with the complement bit set denotes the negation of the
+// function rooted at its slot. Consequences:
+//
+//  * Negation is an O(1) bit flip (`edge_not`); `f` and `!f` share all
+//    of their nodes, roughly halving live node counts on negation-heavy
+//    workloads, and the computed cache needs no NOT entries at all.
+//  * There is a single terminal node (slot 0). The constant TRUE is the
+//    plain edge to it (`kTrueIndex == 0`) and FALSE is the complemented
+//    edge (`kFalseIndex == kComplementBit`).
+//  * Canonical form: a stored node's *high* edge is never complemented.
+//    `make_node` restores the invariant by complementing both children
+//    and returning a complemented edge when needed. The low edge and any
+//    external edge may carry the complement bit.
+//  * The recursive operations canonicalize complement bits before the
+//    cache lookup (e.g. XOR strips both operands' bits, ITE forces a
+//    plain `f` and `g`), so `f ^ g`, `!(f ^ g)`, `ite(f,g,h)` and their
+//    negated variants all share one cache line.
+//
+// Generation-stamp protocol
+// -------------------------
+// Every node carries a 32-bit generation stamp plus a 32-bit scratch
+// word. A traversal (mark, support, node_count, sat_count, permute, DOT
+// export, GC) begins by bumping the manager's global generation counter;
+// a node is "visited" when its stamp equals the current generation, and
+// per-node traversal state lives in the scratch word (or in a flat
+// manager-owned side array for values wider than 32 bits, e.g. the
+// sat-count memo). Traversals therefore run with zero per-call heap
+// allocation — nothing is cleared, stale state is simply outdated. The
+// counter bumps are not reentrant: at most one stamped traversal runs at
+// a time (operations that build nodes, like permute, are fine — fresh
+// nodes start at generation 0). On the ~2^32nd traversal the counter
+// wraps; all stamps are reset to 0 once and the counter restarts at 1.
 //
 // Thread safety: a `BddManager` and all `Bdd` handles attached to it must
 // be used from a single thread.
@@ -18,7 +57,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace covest::bdd {
@@ -27,22 +65,39 @@ namespace covest::bdd {
 /// and are dense, starting at 0.
 using Var = std::uint32_t;
 
-/// Index of a node in the manager's node pool. 0 and 1 are the terminals.
+/// An edge to a node in the manager's pool: a 31-bit slot index plus the
+/// complement bit in the MSB. Slot 0 is the unique terminal.
 using NodeIndex = std::uint32_t;
 
-inline constexpr NodeIndex kFalseIndex = 0;
-inline constexpr NodeIndex kTrueIndex = 1;
+/// MSB of an edge: set when the edge denotes the negated function.
+inline constexpr NodeIndex kComplementBit = 0x80000000u;
+
+/// The constant TRUE: plain edge to the terminal slot.
+inline constexpr NodeIndex kTrueIndex = 0;
+/// The constant FALSE: complemented edge to the terminal slot.
+inline constexpr NodeIndex kFalseIndex = kComplementBit;
 inline constexpr NodeIndex kInvalidIndex = 0xffffffffu;
 inline constexpr Var kInvalidVar = 0xffffffffu;
 
+/// Slot part of an edge (drops the complement bit).
+constexpr NodeIndex edge_node(NodeIndex e) { return e & ~kComplementBit; }
+/// True when the edge carries the complement bit.
+constexpr bool edge_is_complemented(NodeIndex e) {
+  return (e & kComplementBit) != 0;
+}
+/// Negation: an O(1) flip of the complement bit.
+constexpr NodeIndex edge_not(NodeIndex e) { return e ^ kComplementBit; }
+/// True for the two constant edges (both point at terminal slot 0).
+constexpr bool edge_is_terminal(NodeIndex e) { return edge_node(e) == 0; }
+
 class BddManager;
 
-/// RAII handle to a BDD node. While at least one `Bdd` references a node,
+/// RAII handle to a BDD edge. While at least one `Bdd` references a node,
 /// that node and all its descendants survive garbage collection.
 ///
-/// Handles are value types: cheap to copy (a pointer and an index plus a
+/// Handles are value types: cheap to copy (a pointer and an edge plus a
 /// reference-count update) and comparable in O(1) thanks to canonicity —
-/// two handles are semantically equal iff they hold the same index.
+/// two handles are semantically equal iff they hold the same edge.
 class Bdd {
  public:
   /// Detached handle; usable only as an assignment target.
@@ -58,7 +113,7 @@ class Bdd {
 
   bool is_false() const noexcept { return index_ == kFalseIndex; }
   bool is_true() const noexcept { return index_ == kTrueIndex; }
-  bool is_terminal() const noexcept { return index_ <= kTrueIndex; }
+  bool is_terminal() const noexcept { return edge_is_terminal(index_); }
 
   /// Variable labelling the root node. Precondition: not a terminal.
   Var top_var() const;
@@ -85,7 +140,7 @@ class Bdd {
   Bdd& operator^=(const Bdd& rhs) { return *this = *this ^ rhs; }
   Bdd& operator-=(const Bdd& rhs) { return *this = *this - rhs; }
 
-  /// Canonical equality: same function iff same node.
+  /// Canonical equality: same function iff same edge.
   bool operator==(const Bdd& rhs) const noexcept {
     return mgr_ == rhs.mgr_ && index_ == rhs.index_;
   }
@@ -114,11 +169,25 @@ struct BddStats {
   std::size_t allocated_nodes = 0;  ///< Pool size including free-list nodes.
   std::size_t peak_live_nodes = 0;  ///< High-water mark of `live_nodes`.
   std::size_t gc_runs = 0;
-  std::size_t cache_hits = 0;
-  std::size_t cache_lookups = 0;
+  std::size_t cache_hits = 0;       ///< Since the last `clear_cache`.
+  std::size_t cache_lookups = 0;    ///< Since the last `clear_cache`.
   std::size_t unique_hits = 0;      ///< make_node found an existing node.
   std::size_t unique_misses = 0;    ///< make_node created a new node.
   std::size_t reorderings = 0;
+  /// Negations served as O(1) complement-bit flips. Each of these was a
+  /// full cache-polluting traversal before complement edges.
+  std::size_t o1_negations = 0;
+  /// make_node calls that restored canonicity by complementing — i.e.
+  /// node shapes that a complement-free package would have duplicated.
+  std::size_t complement_canonicalizations = 0;
+
+  /// Computed-cache hit rate over the current cache epoch, in [0, 1].
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
 };
 
 /// Owns the node pool, unique tables, computed cache and variable order.
@@ -153,7 +222,7 @@ class BddManager {
   Bdd bdd_false() { return Bdd(this, kFalseIndex); }
   /// Positive literal for variable `v`.
   Bdd var(Var v);
-  /// Negative literal for variable `v`.
+  /// Negative literal for variable `v` (the complement edge of `var(v)`).
   Bdd nvar(Var v);
   /// Literal with the given polarity.
   Bdd literal(Var v, bool positive) { return positive ? var(v) : nvar(v); }
@@ -167,6 +236,8 @@ class BddManager {
   Bdd apply_and(const Bdd& f, const Bdd& g);
   Bdd apply_or(const Bdd& f, const Bdd& g);
   Bdd apply_xor(const Bdd& f, const Bdd& g);
+  /// O(1): flips the complement bit. Never allocates, never touches the
+  /// computed cache.
   Bdd apply_not(const Bdd& f);
   Bdd apply_ite(const Bdd& f, const Bdd& g, const Bdd& h);
 
@@ -225,7 +296,8 @@ class BddManager {
   /// Variables occurring in `f`, sorted by id.
   std::vector<Var> support(const Bdd& f);
 
-  /// Number of distinct nodes in `f` (terminals excluded).
+  /// Number of distinct nodes in `f` (terminal excluded). `f` and `!f`
+  /// share all nodes, so their counts are equal.
   std::size_t node_count(const Bdd& f);
   /// Number of distinct nodes in the union of the given functions.
   std::size_t node_count(const std::vector<Bdd>& fs);
@@ -236,8 +308,9 @@ class BddManager {
   /// that is still referenced. Returns the number of nodes freed.
   std::size_t gc();
 
-  /// Grows/shrinks nothing but clears the computed cache; exposed mainly
-  /// for benchmarking cold-cache behaviour.
+  /// Clears the computed cache and resets the per-epoch cache statistics
+  /// (`cache_hits`, `cache_lookups`); exposed mainly for benchmarking
+  /// cold-cache behaviour.
   void clear_cache();
 
   // -- Dynamic variable reordering ------------------------------------------------
@@ -263,22 +336,43 @@ class BddManager {
   /// Live node count right now (runs no GC; counts reachable nodes).
   std::size_t live_node_count();
 
-  /// Writes `f` in Graphviz DOT format (solid = high edge, dashed = low).
+  /// Writes `f` in Graphviz DOT format (solid = high edge, dashed = low,
+  /// odot arrowhead = complemented edge).
   void write_dot(std::ostream& os, const Bdd& f, const std::string& label);
 
-  // Internal node accessors used by the free algorithms in this library.
-  Var node_var(NodeIndex n) const { return nodes_[n].var; }
-  NodeIndex node_low(NodeIndex n) const { return nodes_[n].low; }
-  NodeIndex node_high(NodeIndex n) const { return nodes_[n].high; }
+  // Internal accessors used by the free algorithms in this library. They
+  // take *edges* and return semantic cofactors (complement folded in).
+  Var node_var(NodeIndex e) const { return nodes_[edge_node(e)].var; }
+  // Folding the edge's complement into a child is a branchless XOR with
+  // the edge's own complement bit.
+  NodeIndex node_low(NodeIndex e) const {
+    return nodes_[edge_node(e)].low ^ (e & kComplementBit);
+  }
+  NodeIndex node_high(NodeIndex e) const {
+    return nodes_[edge_node(e)].high ^ (e & kComplementBit);
+  }
+
+  /// Structural invariant check (tests): true iff no allocated node stores
+  /// a complemented high edge and every low differs from its high.
+  bool check_canonical() const;
 
  private:
   friend class Bdd;
 
+  // 16 bytes; the traversal stamps live in the parallel `stamps_` array
+  // so the hot recursion paths keep four nodes per cache line.
   struct Node {
-    NodeIndex low = kInvalidIndex;
-    NodeIndex high = kInvalidIndex;
+    NodeIndex low = kInvalidIndex;   ///< May carry the complement bit.
+    NodeIndex high = kInvalidIndex;  ///< Invariant: never complemented.
     Var var = kInvalidVar;
-    NodeIndex next = kInvalidIndex;  ///< Unique-subtable chain link.
+    NodeIndex next = kInvalidIndex;  ///< Unique-subtable chain link (slot).
+  };
+
+  /// Per-node traversal state (see the generation-stamp protocol in the
+  /// header comment); indexed by slot, parallel to `nodes_`.
+  struct NodeStamp {
+    std::uint32_t gen = 0;      ///< Stamp: visited iff == `generation_`.
+    std::uint32_t scratch = 0;  ///< Per-traversal scratch word.
   };
 
   struct Subtable {
@@ -290,16 +384,17 @@ class BddManager {
     std::uint32_t op = 0;  ///< 0 = empty slot.
     NodeIndex a = 0, b = 0, c = 0;
     NodeIndex result = 0;
+    /// Entry is live iff this matches the manager's `cache_epoch_`;
+    /// `clear_cache` invalidates everything by bumping the epoch in O(1)
+    /// instead of sweeping megabytes of entries.
+    std::uint32_t epoch = 0;
   };
 
   enum Op : std::uint32_t {
     kOpAnd = 1,
-    kOpOr,
     kOpXor,
-    kOpNot,
     kOpIte,
     kOpExists,
-    kOpForall,
     kOpAndExists,
     kOpCompose,
     kOpSimplify,
@@ -314,43 +409,54 @@ class BddManager {
   void maybe_resize_subtable(Var v);
   void maybe_gc();
 
-  unsigned level(NodeIndex n) const {
-    return nodes_[n].var == kInvalidVar ? kTerminalLevel
-                                        : var_to_level_[nodes_[n].var];
+  unsigned level(NodeIndex e) const {
+    const Var v = nodes_[edge_node(e)].var;
+    return v == kInvalidVar ? kTerminalLevel : var_to_level_[v];
   }
   static constexpr unsigned kTerminalLevel = 0xffffffffu;
 
-  // Reference counting for handles.
-  void ref(NodeIndex n) noexcept;
-  void deref(NodeIndex n) noexcept;
+  // Reference counting for handles (per slot).
+  void ref(NodeIndex e) noexcept;
+  void deref(NodeIndex e) noexcept;
 
-  // Computed cache.
-  CacheEntry& cache_slot(std::uint32_t op, NodeIndex a, NodeIndex b,
-                         NodeIndex c);
+  // Computed cache. The table starts small and quadruples (dropping its
+  // lossy contents) whenever the stores since the last growth exceed a
+  // quarter of the current size, up to the configured maximum — so short
+  // sessions never pay for megabytes of cold cache.
   bool cache_find(std::uint32_t op, NodeIndex a, NodeIndex b, NodeIndex c,
                   NodeIndex* out);
   void cache_store(std::uint32_t op, NodeIndex a, NodeIndex b, NodeIndex c,
                    NodeIndex result);
+  void maybe_grow_cache();
 
-  // Recursive cores (operate on indices; callers hold handle roots).
+  // Generation-stamp traversal protocol.
+  std::uint32_t next_generation();
+  /// Marks every node reachable from `e` with the current generation using
+  /// the reusable work stack; returns how many unvisited non-terminal
+  /// slots it stamped.
+  std::size_t mark_reachable(NodeIndex e);
+
+  // Recursive cores (operate on edges; callers hold handle roots).
   NodeIndex ite_rec(NodeIndex f, NodeIndex g, NodeIndex h);
-  NodeIndex apply_rec(std::uint32_t op, NodeIndex f, NodeIndex g);
-  NodeIndex not_rec(NodeIndex f);
-  NodeIndex quant_rec(std::uint32_t op, NodeIndex f, NodeIndex cube);
+  NodeIndex and_rec(NodeIndex f, NodeIndex g);
+  /// De Morgan: `!and(!f, !g)`; shares the AND cache.
+  NodeIndex or_rec(NodeIndex f, NodeIndex g) {
+    return edge_not(and_rec(edge_not(f), edge_not(g)));
+  }
+  NodeIndex xor_rec(NodeIndex f, NodeIndex g);
+  NodeIndex exists_rec(NodeIndex f, NodeIndex cube);
   NodeIndex and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube);
   NodeIndex compose_rec(NodeIndex f, Var v, NodeIndex g, unsigned v_level);
   NodeIndex simplify_rec(NodeIndex f, NodeIndex care);
-  NodeIndex permute_rec(NodeIndex f, const std::vector<Var>& perm,
-                        std::unordered_map<NodeIndex, NodeIndex>& memo);
+  NodeIndex permute_rec(NodeIndex f, const std::vector<Var>& perm);
 
-  double sat_count_rec(NodeIndex n, const std::vector<unsigned>& level_pos,
-                       std::unordered_map<NodeIndex, double>& memo);
+  double sat_count_rec(NodeIndex slot);
 
-  void mark(NodeIndex n, std::vector<bool>& marked) const;
   std::size_t sift_var_to(Var v, unsigned target_level);
 
   // Data members.
   std::vector<Node> nodes_;
+  std::vector<NodeStamp> stamps_;  ///< Parallel to `nodes_`.
   std::vector<std::uint32_t> ext_refs_;
   std::vector<Subtable> subtables_;
   std::vector<unsigned> var_to_level_;
@@ -358,10 +464,24 @@ class BddManager {
   std::vector<std::string> var_names_;
   std::vector<CacheEntry> cache_;
   std::size_t cache_mask_;
+  std::size_t cache_max_size_;
+  std::size_t cache_stores_since_grow_ = 0;
+  std::uint32_t cache_epoch_ = 1;  ///< 0 is reserved for "never valid".
   NodeIndex free_head_ = kInvalidIndex;
   std::size_t free_count_ = 0;
   std::size_t gc_threshold_;
   bool in_operation_ = false;  ///< Guards against GC during recursion.
+  std::uint32_t generation_ = 0;       ///< Current traversal generation.
+  std::vector<NodeIndex> work_stack_;  ///< Reusable DFS stack (no per-call
+                                       ///< allocation once warmed up).
+  std::vector<double> count_memo_;     ///< sat_count memo, indexed by slot;
+                                       ///< valid when the slot's gen stamp
+                                       ///< matches `generation_`.
+  std::vector<std::uint32_t> level_rank_;  ///< sat_count: level -> rank among
+                                           ///< the counted variables (last
+                                           ///< entry = total, for terminals).
+  std::vector<unsigned> level_scratch_;    ///< sat_count: sorted levels.
+  std::vector<std::uint32_t> var_gen_;  ///< Per-variable stamps (support()).
   BddStats stats_;
 };
 

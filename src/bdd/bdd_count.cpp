@@ -2,6 +2,10 @@
 //
 // The coverage metric of the paper (Definition 4) is a ratio of two model
 // counts over the state variables: |covered| / |reachable|.
+//
+// All traversals here follow the generation-stamp protocol (see bdd.h):
+// visited state and memos live in the nodes themselves or in flat
+// manager-owned side arrays, so none of these paths allocates per call.
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -11,72 +15,92 @@
 
 namespace covest::bdd {
 
-double BddManager::sat_count_rec(NodeIndex n,
-                                 const std::vector<unsigned>& level_pos,
-                                 std::unordered_map<NodeIndex, double>& memo) {
-  if (n == kFalseIndex) return 0.0;
-  if (n == kTrueIndex) return 1.0;
-  auto it = memo.find(n);
-  if (it != memo.end()) return it->second;
-
-  const unsigned pos = level_pos[level(n)];
-  const auto child_pos = [&](NodeIndex c) -> unsigned {
-    return c <= kTrueIndex ? static_cast<unsigned>(level_pos.back())
-                           : level_pos[level(c)];
+// Satisfying-count recursion over a plain node slot. The memoized value
+// counts assignments to the variables at the node's rank and below
+// (rank = position of the node's level among the counted variables), so
+// counts accumulate bottom-up starting at 1 — exact up to 2^53 like a
+// classic count-based package, with no underflow for deep sparse
+// functions (a pure fraction formulation would hit subnormals past
+// ~1074 levels). Complement edges are resolved at each child: the
+// negated count over k remaining variables is 2^k minus the plain one.
+double BddManager::sat_count_rec(NodeIndex slot) {
+  if (stamps_[slot].gen == generation_) return count_memo_[slot];
+  const std::uint32_t rank = level_rank_[var_to_level_[nodes_[slot].var]];
+  const std::uint32_t total = level_rank_[level_rank_.size() - 1];
+  const auto child_count = [&](NodeIndex e) -> double {
+    const NodeIndex child = edge_node(e);
+    const std::uint32_t child_rank =
+        child == 0 ? total : level_rank_[var_to_level_[nodes_[child].var]];
+    double n = child == 0 ? 1.0 : sat_count_rec(child);
+    if (edge_is_complemented(e)) {
+      n = std::exp2(static_cast<double>(total - child_rank)) - n;
+    }
+    // Skip the scaling for an unsatisfiable branch: with >1024 counted
+    // variables below, the gap factor overflows to inf and 0 * inf is
+    // NaN, not the 0 the sum needs.
+    if (n == 0.0) return 0.0;
+    // Variables skipped between this node and the child branch freely.
+    return n * std::exp2(static_cast<double>(child_rank - rank - 1));
   };
-  const double low = sat_count_rec(nodes_[n].low, level_pos, memo) *
-                     std::exp2(child_pos(nodes_[n].low) - pos - 1);
-  const double high = sat_count_rec(nodes_[n].high, level_pos, memo) *
-                      std::exp2(child_pos(nodes_[n].high) - pos - 1);
-  const double result = low + high;
-  memo.emplace(n, result);
+  const double result =
+      child_count(nodes_[slot].low) + child_count(nodes_[slot].high);
+  stamps_[slot].gen = generation_;
+  count_memo_[slot] = result;
   return result;
 }
 
 double BddManager::sat_count(const Bdd& f, const std::vector<Var>& over) {
   assert(f.manager() == this);
-  // level_pos[level] = rank of that level among the counted variables;
-  // the last element holds the total rank used for terminals.
-  std::vector<unsigned> levels;
-  levels.reserve(over.size());
-  for (Var v : over) levels.push_back(var_to_level_[v]);
-  std::sort(levels.begin(), levels.end());
-
-  std::vector<unsigned> level_pos(level_to_var_.size() + 1, 0xffffffffu);
-  for (std::size_t i = 0; i < levels.size(); ++i) {
-    level_pos[levels[i]] = static_cast<unsigned>(i);
-  }
-  level_pos.back() = static_cast<unsigned>(levels.size());
-
 #ifndef NDEBUG
   for (Var v : support(f)) {
-    assert(level_pos[var_to_level_[v]] != 0xffffffffu &&
+    assert(std::find(over.begin(), over.end(), v) != over.end() &&
            "sat_count: support must be contained in the counted variables");
   }
 #endif
-
+  const double total_vars = static_cast<double>(over.size());
   if (f.is_false()) return 0.0;
-  if (f.is_true()) return std::exp2(static_cast<double>(levels.size()));
+  if (f.is_true()) return std::exp2(total_vars);
 
-  std::unordered_map<NodeIndex, double> memo;
-  const double below = sat_count_rec(f.index(), level_pos, memo);
-  return below * std::exp2(level_pos[level(f.index())]);
+  // Rank the counted variables by level in the reusable manager buffers
+  // (level_rank_'s last entry holds the total, used for terminals).
+  level_scratch_.clear();
+  for (Var v : over) level_scratch_.push_back(var_to_level_[v]);
+  std::sort(level_scratch_.begin(), level_scratch_.end());
+  level_rank_.assign(level_to_var_.size() + 1, 0xffffffffu);
+  for (std::size_t i = 0; i < level_scratch_.size(); ++i) {
+    level_rank_[level_scratch_[i]] = static_cast<std::uint32_t>(i);
+  }
+  level_rank_[level_rank_.size() - 1] =
+      static_cast<std::uint32_t>(level_scratch_.size());
+
+  if (count_memo_.size() < nodes_.size()) count_memo_.resize(nodes_.size());
+  next_generation();
+  const NodeIndex root = edge_node(f.index());
+  const std::uint32_t root_rank = level_rank_[var_to_level_[nodes_[root].var]];
+  double n = sat_count_rec(root);
+  if (edge_is_complemented(f.index())) {
+    n = std::exp2(total_vars - static_cast<double>(root_rank)) - n;
+  }
+  // Variables ranked above the root branch freely.
+  return n * std::exp2(static_cast<double>(root_rank));
 }
 
 std::vector<std::pair<Var, bool>> BddManager::sat_one(const Bdd& f) {
   assert(f.manager() == this);
   std::vector<std::pair<Var, bool>> result;
-  NodeIndex n = f.index();
-  while (n > kTrueIndex) {
-    if (nodes_[n].low != kFalseIndex) {
-      result.emplace_back(nodes_[n].var, false);
-      n = nodes_[n].low;
+  // Walk with the complement parity folded into the edge, so terminal
+  // tests against the canonical constants stay exact.
+  NodeIndex e = f.index();
+  while (!edge_is_terminal(e)) {
+    if (node_low(e) != kFalseIndex) {
+      result.emplace_back(node_var(e), false);
+      e = node_low(e);
     } else {
-      result.emplace_back(nodes_[n].var, true);
-      n = nodes_[n].high;
+      result.emplace_back(node_var(e), true);
+      e = node_high(e);
     }
   }
-  if (n == kFalseIndex) return {};
+  if (e == kFalseIndex) return {};
   return result;
 }
 
@@ -110,6 +134,8 @@ std::vector<std::vector<std::pair<Var, bool>>> BddManager::enumerate_minterms(
 
   // DFS over the variable list; gap variables (not in f's support on this
   // path) branch both ways, so enumeration is exhaustive over `over`.
+  // `n` is a semantic edge: the complement parity of the path so far is
+  // already folded in, so the constant tests are exact.
   auto rec = [&](auto&& self, NodeIndex n, std::size_t i) -> bool {
     if (n == kFalseIndex) return true;
     if (i == by_level.size()) {
@@ -118,10 +144,10 @@ std::vector<std::vector<std::pair<Var, bool>>> BddManager::enumerate_minterms(
       return out.size() < limit;
     }
     const Var v = by_level[i];
-    const bool at_var = n > kTrueIndex && nodes_[n].var == v;
+    const bool at_var = !edge_is_terminal(n) && node_var(n) == v;
     for (bool value : {false, true}) {
       const NodeIndex child =
-          at_var ? (value ? nodes_[n].high : nodes_[n].low) : n;
+          at_var ? (value ? node_high(n) : node_low(n)) : n;
       current.emplace_back(v, value);
       const bool keep_going = self(self, child, i + 1);
       current.pop_back();
@@ -135,56 +161,54 @@ std::vector<std::vector<std::pair<Var, bool>>> BddManager::enumerate_minterms(
 
 bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
   assert(f.manager() == this);
-  NodeIndex n = f.index();
-  while (n > kTrueIndex) {
-    const Var v = nodes_[n].var;
-    assert(v < assignment.size());
-    n = assignment[v] ? nodes_[n].high : nodes_[n].low;
+  // Accumulate the complement parity along the path; the terminal node
+  // denotes TRUE, so the final answer is the parity's inverse.
+  NodeIndex e = f.index();
+  bool complemented = false;
+  while (!edge_is_terminal(e)) {
+    complemented ^= edge_is_complemented(e);
+    const Node& n = nodes_[edge_node(e)];
+    assert(n.var < assignment.size());
+    e = assignment[n.var] ? n.high : n.low;
   }
-  return n == kTrueIndex;
+  complemented ^= edge_is_complemented(e);
+  return !complemented;
 }
 
 std::vector<Var> BddManager::support(const Bdd& f) {
   assert(f.manager() == this);
-  std::vector<bool> in_support(num_vars(), false);
-  std::vector<bool> visited(nodes_.size(), false);
-  std::vector<NodeIndex> stack{f.index()};
-  while (!stack.empty()) {
-    const NodeIndex n = stack.back();
-    stack.pop_back();
-    if (n <= kTrueIndex || visited[n]) continue;
-    visited[n] = true;
-    in_support[nodes_[n].var] = true;
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+  // Stamp the support variables in var_gen_; no per-call bitmaps.
+  next_generation();
+  work_stack_.clear();
+  work_stack_.push_back(edge_node(f.index()));
+  while (!work_stack_.empty()) {
+    const NodeIndex slot = work_stack_.back();
+    work_stack_.pop_back();
+    if (slot == 0 || stamps_[slot].gen == generation_) continue;
+    stamps_[slot].gen = generation_;
+    var_gen_[nodes_[slot].var] = generation_;
+    work_stack_.push_back(edge_node(nodes_[slot].low));
+    work_stack_.push_back(edge_node(nodes_[slot].high));
   }
   std::vector<Var> result;
-  for (Var v = 0; v < in_support.size(); ++v) {
-    if (in_support[v]) result.push_back(v);
+  for (Var v = 0; v < var_gen_.size(); ++v) {
+    if (var_gen_[v] == generation_) result.push_back(v);
   }
   return result;
 }
 
 std::size_t BddManager::node_count(const Bdd& f) {
-  return node_count(std::vector<Bdd>{f});
+  assert(f.manager() == this);
+  next_generation();
+  return mark_reachable(f.index());
 }
 
 std::size_t BddManager::node_count(const std::vector<Bdd>& fs) {
-  std::vector<bool> visited(nodes_.size(), false);
+  next_generation();
   std::size_t count = 0;
-  std::vector<NodeIndex> stack;
   for (const Bdd& f : fs) {
     assert(f.manager() == this);
-    stack.push_back(f.index());
-  }
-  while (!stack.empty()) {
-    const NodeIndex n = stack.back();
-    stack.pop_back();
-    if (n <= kTrueIndex || visited[n]) continue;
-    visited[n] = true;
-    ++count;
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+    count += mark_reachable(f.index());
   }
   return count;
 }

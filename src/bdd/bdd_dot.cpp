@@ -1,6 +1,10 @@
 // Graphviz DOT export for debugging and documentation.
+//
+// Complement edges are drawn with an odot arrowhead (the CUDD
+// convention); the single terminal renders as the box "1" (named t1).
+// A plaintext root stub shows the polarity of the exported edge itself.
 #include <ostream>
-#include <unordered_set>
+#include <string>
 #include <vector>
 
 #include "bdd/bdd.h"
@@ -12,29 +16,45 @@ void BddManager::write_dot(std::ostream& os, const Bdd& f,
   os << "digraph bdd {\n";
   os << "  label=\"" << label << "\";\n";
   os << "  node [shape=circle];\n";
-  os << "  t0 [shape=box, label=\"0\"];\n";
   os << "  t1 [shape=box, label=\"1\"];\n";
 
-  std::unordered_set<NodeIndex> visited;
-  std::vector<NodeIndex> stack{f.index()};
-  auto node_name = [](NodeIndex n) {
-    if (n == kFalseIndex) return std::string("t0");
-    if (n == kTrueIndex) return std::string("t1");
-    return "n" + std::to_string(n);
+  auto node_name = [](NodeIndex slot) {
+    if (slot == 0) return std::string("t1");
+    return "n" + std::to_string(slot);
   };
-  while (!stack.empty()) {
-    const NodeIndex n = stack.back();
-    stack.pop_back();
-    if (n <= kTrueIndex || visited.count(n) != 0) continue;
-    visited.insert(n);
-    os << "  " << node_name(n) << " [label=\"" << var_names_[nodes_[n].var]
-       << "\"];\n";
-    os << "  " << node_name(n) << " -> " << node_name(nodes_[n].low)
-       << " [style=dashed];\n";
-    os << "  " << node_name(n) << " -> " << node_name(nodes_[n].high)
-       << ";\n";
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+  auto edge_attrs = [](NodeIndex e, bool dashed) {
+    std::string attrs;
+    if (dashed) attrs += "style=dashed";
+    if (edge_is_complemented(e)) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += "arrowhead=odot";
+    }
+    return attrs.empty() ? std::string() : " [" + attrs + "]";
+  };
+
+  os << "  root [shape=plaintext, label=\"" << label << "\"];\n";
+  os << "  root -> " << node_name(edge_node(f.index()))
+     << edge_attrs(f.index(), false) << ";\n";
+
+  // Generation-stamped DFS over plain slots; no per-call visited sets.
+  next_generation();
+  work_stack_.clear();
+  work_stack_.push_back(edge_node(f.index()));
+  while (!work_stack_.empty()) {
+    const NodeIndex slot = work_stack_.back();
+    work_stack_.pop_back();
+    if (slot == 0 || stamps_[slot].gen == generation_) continue;
+    stamps_[slot].gen = generation_;
+    const NodeIndex low = nodes_[slot].low;
+    const NodeIndex high = nodes_[slot].high;
+    os << "  " << node_name(slot) << " [label=\""
+       << var_names_[nodes_[slot].var] << "\"];\n";
+    os << "  " << node_name(slot) << " -> " << node_name(edge_node(low))
+       << edge_attrs(low, true) << ";\n";
+    os << "  " << node_name(slot) << " -> " << node_name(edge_node(high))
+       << edge_attrs(high, false) << ";\n";
+    work_stack_.push_back(edge_node(low));
+    work_stack_.push_back(edge_node(high));
   }
   os << "}\n";
 }

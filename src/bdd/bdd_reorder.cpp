@@ -2,8 +2,16 @@
 //
 // The swap is the classic Rudell construction: only nodes labelled with the
 // upper variable that reference the lower variable are rewritten, in place,
-// so node indices (and therefore all live `Bdd` handles) stay valid and
-// every node keeps its function.
+// so node slots (and therefore all live `Bdd` handles, including
+// complemented ones) stay valid and every node keeps its function.
+//
+// Complement edges interact benignly with the swap: the y-cofactors taken
+// through a node's *high* edge are stored edges of a plain node, and the
+// ones taken through the *low* edge get the low edge's complement bit
+// folded in. The high argument of the rebuilt *high* branch (f11) is a
+// stored high edge, hence plain — so make_node never complements
+// new_high and the rewritten node keeps its polarity; new_low may come
+// back complemented (f10 is a stored low edge), which is legal.
 #include <algorithm>
 #include <cassert>
 
@@ -21,7 +29,8 @@ void BddManager::swap_adjacent_levels(unsigned lvl) {
   std::vector<NodeIndex> affected;
   for (NodeIndex head : subtables_[x].buckets) {
     for (NodeIndex n = head; n != kInvalidIndex; n = nodes_[n].next) {
-      if (nodes_[nodes_[n].low].var == y || nodes_[nodes_[n].high].var == y) {
+      if (nodes_[edge_node(nodes_[n].low)].var == y ||
+          nodes_[edge_node(nodes_[n].high)].var == y) {
         affected.push_back(n);
       }
     }
@@ -31,19 +40,26 @@ void BddManager::swap_adjacent_levels(unsigned lvl) {
   for (NodeIndex n : affected) subtable_remove(x, n);
 
   for (NodeIndex n : affected) {
-    const NodeIndex f0 = nodes_[n].low;
-    const NodeIndex f1 = nodes_[n].high;
-    const bool low_is_y = nodes_[f0].var == y;
+    const NodeIndex f0 = nodes_[n].low;   // May be complemented.
+    const NodeIndex f1 = nodes_[n].high;  // Plain by canonicity.
+    const bool low_is_y = nodes_[edge_node(f0)].var == y;
     const bool high_is_y = nodes_[f1].var == y;
-    const NodeIndex f00 = low_is_y ? nodes_[f0].low : f0;
-    const NodeIndex f01 = low_is_y ? nodes_[f0].high : f0;
+    // Semantic y-cofactors of each branch (complement folded in).
+    const NodeIndex f00 = low_is_y ? node_low(f0) : f0;
+    const NodeIndex f01 = low_is_y ? node_high(f0) : f0;
     const NodeIndex f10 = high_is_y ? nodes_[f1].low : f1;
     const NodeIndex f11 = high_is_y ? nodes_[f1].high : f1;
 
     // n was (x ? f1 : f0); it becomes y ? (x ? f11 : f01) : (x ? f10 : f00),
-    // the same function with y on top.
+    // the same function with y on top. f11 is a stored *high* edge,
+    // hence plain — so the new_high make_node never complements its
+    // result and n's polarity is preserved. f10 is a stored *low* edge
+    // and may be complemented, so new_low can legally come back with
+    // the complement bit set.
     const NodeIndex new_low = make_node(x, f00, f10);
     const NodeIndex new_high = make_node(x, f01, f11);
+    assert(!edge_is_complemented(new_high) &&
+           "swap must not flip the rewritten node's polarity");
     assert(new_low != new_high && "rewritten node must still depend on y");
     nodes_[n].var = y;
     nodes_[n].low = new_low;

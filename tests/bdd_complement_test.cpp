@@ -1,0 +1,231 @@
+// Invariants of the complement-edge encoding (see the header comment in
+// bdd/bdd.h): canonical form of stored nodes, O(1) negation semantics,
+// cache-free constant results, count duality and reordering stability of
+// complemented handles.
+#include "bdd/bdd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace covest::bdd {
+namespace {
+
+class BddComplementTest : public ::testing::Test {
+ protected:
+  BddManager mgr{8};
+  Bdd v(Var i) { return mgr.var(i); }
+};
+
+// A random expression builder, mirroring the one in bdd_test.cpp, biased
+// towards negation so complement bits appear throughout the DAG.
+Bdd random_function(BddManager& mgr, std::mt19937& rng, int num_vars,
+                    int depth) {
+  std::uniform_int_distribution<int> var_dist(0, num_vars - 1);
+  if (depth == 0) return mgr.var(static_cast<Var>(var_dist(rng)));
+  std::uniform_int_distribution<int> kind(0, 4);
+  switch (kind(rng)) {
+    case 0:
+      return !random_function(mgr, rng, num_vars, depth - 1);
+    case 1:
+      return random_function(mgr, rng, num_vars, depth - 1) &
+             random_function(mgr, rng, num_vars, depth - 1);
+    case 2:
+      return random_function(mgr, rng, num_vars, depth - 1) |
+             random_function(mgr, rng, num_vars, depth - 1);
+    case 3:
+      return random_function(mgr, rng, num_vars, depth - 1) ^
+             random_function(mgr, rng, num_vars, depth - 1);
+    default:
+      return mgr.var(static_cast<Var>(var_dist(rng)));
+  }
+}
+
+std::vector<bool> truth_table(BddManager& mgr, const Bdd& f, int num_vars) {
+  std::vector<bool> table;
+  std::vector<bool> assignment(num_vars);
+  for (unsigned bits = 0; bits < (1u << num_vars); ++bits) {
+    for (int i = 0; i < num_vars; ++i) assignment[i] = (bits >> i) & 1;
+    table.push_back(mgr.eval(f, assignment));
+  }
+  return table;
+}
+
+// --------------------------------------------------------------------------
+// Canonical form
+// --------------------------------------------------------------------------
+
+TEST_F(BddComplementTest, NoStoredNodeHasComplementedHighEdge) {
+  std::mt19937 rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = random_function(mgr, rng, 8, 6);
+    (void)f;
+    EXPECT_TRUE(mgr.check_canonical());
+  }
+}
+
+TEST_F(BddComplementTest, CanonicalFormSurvivesGcAndReordering) {
+  std::mt19937 rng(11);
+  Bdd keep = random_function(mgr, rng, 8, 6);
+  { Bdd garbage = random_function(mgr, rng, 8, 6); }
+  mgr.gc();
+  EXPECT_TRUE(mgr.check_canonical());
+  mgr.reorder_sift();
+  EXPECT_TRUE(mgr.check_canonical());
+}
+
+TEST_F(BddComplementTest, ConstantsAreComplementsOfEachOther) {
+  EXPECT_EQ(mgr.bdd_false(), !mgr.bdd_true());
+  EXPECT_EQ(mgr.bdd_true(), !mgr.bdd_false());
+  EXPECT_EQ(kFalseIndex, edge_not(kTrueIndex));
+}
+
+// --------------------------------------------------------------------------
+// O(1) negation
+// --------------------------------------------------------------------------
+
+TEST_F(BddComplementTest, DoubleNegationIsIdentity) {
+  std::mt19937 rng(23);
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = random_function(mgr, rng, 8, 6);
+    EXPECT_EQ(!(!f), f);
+  }
+}
+
+TEST_F(BddComplementTest, NegationSharesAllNodes) {
+  const Bdd f = (v(0) & v(1)) | (v(2) ^ v(3));
+  const Bdd g = !f;
+  // Same slot, opposite polarity: node_count is identical and the handles
+  // differ exactly by the complement bit.
+  EXPECT_EQ(mgr.node_count(f), mgr.node_count(g));
+  EXPECT_EQ(edge_node(f.index()), edge_node(g.index()));
+  EXPECT_EQ(f.index() ^ kComplementBit, g.index());
+}
+
+TEST_F(BddComplementTest, NegationIsAllocationAndCacheFree) {
+  const Bdd f = (v(0) & v(1)) | (v(2) ^ v(3)) | (!v(4) & v(5));
+  const BddStats before = mgr.stats();
+  const Bdd g = !f;
+  const Bdd h = !g;
+  const BddStats& after = mgr.stats();
+  EXPECT_EQ(h, f);
+  // No node allocated, no unique-table traffic, no cache traffic.
+  EXPECT_EQ(after.unique_misses, before.unique_misses);
+  EXPECT_EQ(after.unique_hits, before.unique_hits);
+  EXPECT_EQ(after.cache_lookups, before.cache_lookups);
+  EXPECT_EQ(after.o1_negations, before.o1_negations + 2);
+}
+
+TEST_F(BddComplementTest, ContradictionNeedsNoCacheLookup) {
+  const Bdd f = (v(0) & v(1)) | (v(2) ^ v(3));
+  const Bdd nf = !f;
+  const std::size_t lookups = mgr.stats().cache_lookups;
+  // f & !f and f | !f are recognised by the complement terminal rule
+  // before any cache or recursion is touched.
+  EXPECT_TRUE((f & nf).is_false());
+  EXPECT_TRUE((f | nf).is_true());
+  EXPECT_EQ(mgr.stats().cache_lookups, lookups);
+}
+
+// --------------------------------------------------------------------------
+// Counting duality
+// --------------------------------------------------------------------------
+
+TEST_F(BddComplementTest, SatCountOfNegationIsComplementCount) {
+  std::mt19937 rng(31);
+  const std::vector<Var> all{0, 1, 2, 3, 4, 5, 6, 7};
+  const double total = std::exp2(static_cast<double>(all.size()));
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = random_function(mgr, rng, 8, 5);
+    EXPECT_DOUBLE_EQ(mgr.sat_count(!f, all), total - mgr.sat_count(f, all));
+  }
+}
+
+TEST(BddComplementDeepTest, SatCountIsExactForDeepSparseFunctions) {
+  // A conjunction of 1100 literals has exactly one minterm. A naive
+  // fraction-based count underflows double subnormals past ~1074 levels;
+  // the rank-based recursion must stay exact.
+  constexpr unsigned kDepth = 1100;
+  BddManager mgr(kDepth);
+  std::vector<Var> all;
+  for (Var v = 0; v < kDepth; ++v) all.push_back(v);
+  const Bdd cube = mgr.cube(all);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(cube, all), 1.0);
+  // Two free variables -> 4 minterms; and the negation counts the rest.
+  std::vector<Var> most(all.begin(), all.end() - 2);
+  const Bdd partial = mgr.cube(most);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(partial, all), 4.0);
+}
+
+TEST_F(BddComplementTest, SupportOfNegationIsSupportOfFunction) {
+  const Bdd f = (v(1) & v(3)) ^ v(6);
+  EXPECT_EQ(mgr.support(!f), mgr.support(f));
+}
+
+// --------------------------------------------------------------------------
+// Reordering with complemented handles
+// --------------------------------------------------------------------------
+
+TEST_F(BddComplementTest, ReorderingPreservesComplementedHandles) {
+  std::mt19937 rng(47);
+  constexpr int kNumVars = 8;
+  const Bdd f = random_function(mgr, rng, kNumVars, 6);
+  const Bdd nf = !f;
+  const auto f_before = truth_table(mgr, f, kNumVars);
+  const auto nf_before = truth_table(mgr, nf, kNumVars);
+
+  for (unsigned lvl = 0; lvl + 1 < mgr.num_vars(); ++lvl) {
+    mgr.swap_adjacent_levels(lvl);
+    EXPECT_TRUE(mgr.check_canonical()) << "after swap at level " << lvl;
+  }
+  EXPECT_EQ(truth_table(mgr, f, kNumVars), f_before);
+  EXPECT_EQ(truth_table(mgr, nf, kNumVars), nf_before);
+
+  std::vector<Var> order{7, 2, 5, 0, 3, 6, 1, 4};
+  mgr.set_order(order);
+  EXPECT_EQ(truth_table(mgr, f, kNumVars), f_before);
+  EXPECT_EQ(truth_table(mgr, nf, kNumVars), nf_before);
+  EXPECT_EQ(nf, !f);  // Still the same slot, opposite polarity.
+
+  mgr.reorder_sift();
+  EXPECT_EQ(truth_table(mgr, f, kNumVars), f_before);
+  EXPECT_EQ(truth_table(mgr, nf, kNumVars), nf_before);
+  EXPECT_TRUE(mgr.check_canonical());
+}
+
+// --------------------------------------------------------------------------
+// De Morgan / duality identities exercising shared caches
+// --------------------------------------------------------------------------
+
+TEST_F(BddComplementTest, SharedCacheIdentities) {
+  std::mt19937 rng(59);
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = random_function(mgr, rng, 8, 5);
+    const Bdd g = random_function(mgr, rng, 8, 5);
+    EXPECT_EQ(f | g, !(!f & !g));        // OR via the AND cache.
+    EXPECT_EQ(f ^ g, !(f ^ !g));         // XOR parity stripping.
+    EXPECT_EQ(!(f ^ g), (!f) ^ g);
+    const Bdd cube = mgr.cube({1, 4, 6});
+    EXPECT_EQ(mgr.forall(f, cube), !mgr.exists(!f, cube));
+  }
+}
+
+TEST_F(BddComplementTest, StatsReportComplementSavingsAndHitRate) {
+  Bdd f = (v(0) & v(1)) | (v(2) & v(3));
+  Bdd g = !f;
+  Bdd h = (v(0) & v(1)) | (v(2) & v(3));  // Replay: cache hits.
+  EXPECT_EQ(h, f);
+  EXPECT_GT(mgr.stats().o1_negations, 0u);
+  EXPECT_GT(mgr.stats().cache_hit_rate(), 0.0);
+  EXPECT_LE(mgr.stats().cache_hit_rate(), 1.0);
+  mgr.clear_cache();
+  EXPECT_EQ(mgr.stats().cache_lookups, 0u);
+  EXPECT_EQ(mgr.stats().cache_hits, 0u);
+  EXPECT_DOUBLE_EQ(mgr.stats().cache_hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace covest::bdd

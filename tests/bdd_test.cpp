@@ -381,11 +381,13 @@ TEST_F(BddTest, NodeCountSingleVariable) {
 }
 
 TEST_F(BddTest, NodeCountSharedSubgraphs) {
-  const Bdd f = v(0) ^ v(1) ^ v(2);  // XOR chain: 2 nodes per level + root.
-  EXPECT_EQ(mgr.node_count(f), 5u);
-  // Counting a vector shares common nodes.
+  // With complement edges, parity needs just one node per level: the two
+  // polarities of each tail share a node through complemented edges.
+  const Bdd f = v(0) ^ v(1) ^ v(2);
+  EXPECT_EQ(mgr.node_count(f), 3u);
+  // Counting a vector shares common nodes (g is f's tail).
   const Bdd g = v(1) ^ v(2);
-  EXPECT_EQ(mgr.node_count(std::vector<Bdd>{f, g}), 5u);
+  EXPECT_EQ(mgr.node_count(std::vector<Bdd>{f, g}), 3u);
 }
 
 // --------------------------------------------------------------------------
@@ -569,8 +571,9 @@ TEST(BddStressTest, LargeXorChainHasLinearNodes) {
   BddManager mgr(kNumVars);
   Bdd f = mgr.bdd_false();
   for (int i = 0; i < kNumVars; ++i) f ^= mgr.var(i);
-  // Parity of n variables has exactly 2n-1 nodes.
-  EXPECT_EQ(mgr.node_count(f), 2u * kNumVars - 1);
+  // Parity of n variables has exactly n nodes with complement edges
+  // (2n-1 without them: both polarities per level minus the shared root).
+  EXPECT_EQ(mgr.node_count(f), static_cast<std::size_t>(kNumVars));
 }
 
 TEST(BddStressTest, AdderEqualityRelation) {
