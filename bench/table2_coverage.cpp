@@ -3,29 +3,27 @@
 // verification vs coverage estimation — followed by the Section-5
 // narrative phases (hole inspection, added properties, the escaped bug).
 //
+// Every measurement runs through the engine facade: a row is one
+// `CoverageRequest` (in-memory model + property suite + one observed
+// signal), and the verification/coverage columns come from the
+// `SuiteResult`'s per-phase stats. The narrative phases reuse one
+// `Session` per circuit so added properties re-verify incrementally —
+// the suite-shaped workflow the facade exists for.
+//
 // Absolute numbers differ from the paper (our circuits are synthetic
 // equivalents and the machine is not an HP9000); the shape to compare:
 // which signals reach 100%, where the holes are, and that coverage
 // estimation costs about the same as verification.
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "circuits/circuits.h"
-#include "core/coverage.h"
-#include "ctl/checker.h"
-#include "fsm/symbolic_fsm.h"
+#include "engine/engine.h"
 
 namespace {
 
 using namespace covest;
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
 
 struct Row {
   std::string circuit;
@@ -38,37 +36,38 @@ struct Row {
   double cover_ms;
 };
 
+/// Suite part of a request (model-free: Session::run ignores the model
+/// source, and the one-shot path sets it explicitly).
+engine::CoverageRequest make_request(const std::vector<ctl::Formula>& props,
+                                     const std::string& signal) {
+  engine::CoverageRequest req;
+  for (const auto& f : props) {
+    req.properties.push_back(engine::PropertySpec::of(f));
+  }
+  req.signals = {signal};
+  req.skip_failing = true;
+  req.uncovered_limit = 0;
+  return req;
+}
+
 /// Runs verification then coverage for one signal group and fills a row.
 Row run_row(const std::string& circuit, const std::string& signal,
             const model::Model& m, const std::vector<ctl::Formula>& props) {
-  fsm::SymbolicFsm fsm(m);
-  ctl::ModelChecker checker(fsm);
-
-  const auto t0 = Clock::now();
-  std::size_t held = 0;
-  for (const auto& f : props) held += checker.holds(f);
-  const double verify_ms = ms_since(t0);
-  const std::size_t verify_nodes = fsm.mgr().live_node_count();
-  if (held != props.size()) {
+  engine::CoverageRequest req = make_request(props, signal);
+  req.model = m;
+  const engine::SuiteResult r = engine::Engine().run(req);
+  if (r.failures > 0) {
     std::printf("  WARNING: %zu/%zu properties failed verification\n",
-                props.size() - held, props.size());
+                r.failures, r.properties.size());
   }
-
-  const auto t1 = Clock::now();
-  core::CoverageEstimator estimator(checker);
-  bdd::Bdd covered = fsm.mgr().bdd_false();
-  for (const auto& q : core::observe_all_bits(m, signal)) {
-    covered |= estimator.coverage(props, q).covered;
-  }
-  const double space = fsm.count_states(estimator.coverage_space());
-  const double hit = fsm.mgr().sat_count(
-      covered & estimator.coverage_space(), fsm.current_vars());
-  const double cover_ms = ms_since(t1);
-  const std::size_t cover_nodes = fsm.mgr().live_node_count();
-
-  return Row{circuit,      signal,    props.size(),
-             space == 0 ? 100.0 : 100.0 * hit / space,
-             verify_nodes, verify_ms, cover_nodes, cover_ms};
+  return Row{circuit,
+             signal,
+             r.properties.size(),
+             r.signals.front().percent,
+             r.verify.live_nodes,
+             r.verify.ms,
+             r.estimate.live_nodes,
+             r.estimate.ms};
 }
 
 void print_table(const std::vector<Row>& rows) {
@@ -84,6 +83,15 @@ void print_table(const std::vector<Row>& rows) {
                 r.verify_ms, r.cover_nodes, r.cover_ms);
     last_circuit = r.circuit;
   }
+}
+
+/// Coverage percentage of `signal` for a property suite on an open
+/// session (narrative phases re-run growing suites on one session).
+double phase_percent(engine::Session& session,
+                     const std::vector<ctl::Formula>& props,
+                     const std::string& signal) {
+  const engine::SuiteResult r = session.run(make_request(props, signal));
+  return r.signals.front().percent;
 }
 
 }  // namespace
@@ -128,64 +136,63 @@ int main() {
   // ------------------------------------------------------------------
   std::printf("\n=== narrative: closing the holes ===\n");
 
+  const engine::Engine eng;
+
   {
-    fsm::SymbolicFsm fsm(queue);
-    ctl::ModelChecker mc(fsm);
-    core::CoverageEstimator est(mc);
-    const auto wrap_sig = core::observe_bool(queue, "wrap");
+    engine::CoverageRequest base;
+    base.model = queue;
+    auto session = eng.open(base);
     auto suite = circuits::queue_wrap_properties_initial(q);
     std::printf("queue wrap, initial 5 props:     %6.2f%%\n",
-                est.coverage(suite, wrap_sig).percent);
+                phase_percent(*session, suite, "wrap"));
     for (const auto& f : circuits::queue_wrap_properties_additional(q)) {
       suite.push_back(f);
     }
     std::printf("queue wrap, +3 hold props:       %6.2f%%  "
                 "(hole: wrap never checked under stall)\n",
-                est.coverage(suite, wrap_sig).percent);
+                phase_percent(*session, suite, "wrap"));
     suite.push_back(circuits::queue_wrap_stall_property(q));
     std::printf("queue wrap, +stall prop:         %6.2f%%\n",
-                est.coverage(suite, wrap_sig).percent);
+                phase_percent(*session, suite, "wrap"));
   }
 
   {
-    fsm::SymbolicFsm fsm(buffer);
-    ctl::ModelChecker mc(fsm);
-    const bool missing_holds =
-        mc.holds(circuits::buffer_lo_missing_case(buf));
+    // The missing-case property FAILS on the shipped design: a
+    // verification-only request (no signals) reports the escaped bug.
+    engine::CoverageRequest check;
+    check.model = buffer;
+    check.properties = {
+        engine::PropertySpec::of(circuits::buffer_lo_missing_case(buf))};
+    check.skip_failing = true;
+    const engine::SuiteResult r = eng.run(check);
     std::printf("buffer missing-case property:    %s  "
                 "(the escaped bug of the paper)\n",
-                missing_holds ? "HOLDS (unexpected!)" : "FAILS");
-    const circuits::PriorityBufferSpec fixed{8, false};
-    fsm::SymbolicFsm fsm2(circuits::make_priority_buffer(fixed));
-    ctl::ModelChecker mc2(fsm2);
-    core::CoverageEstimator est2(mc2);
-    auto suite = circuits::buffer_lo_properties_initial(fixed);
-    suite.push_back(circuits::buffer_lo_missing_case(fixed));
-    bdd::Bdd covered = fsm2.mgr().bdd_false();
-    for (const auto& qsig : core::observe_all_bits(fsm2.model(), "lo")) {
-      covered |= est2.coverage(suite, qsig).covered;
-    }
-    const double space = fsm2.count_states(est2.coverage_space());
-    const double hit = fsm2.mgr().sat_count(
-        covered & est2.coverage_space(), fsm2.current_vars());
+                r.all_passed() ? "HOLDS (unexpected!)" : "FAILS");
+
+    const circuits::PriorityBufferSpec fixed_spec{8, false};
+    const model::Model fixed = circuits::make_priority_buffer(fixed_spec);
+    auto suite = circuits::buffer_lo_properties_initial(fixed_spec);
+    suite.push_back(circuits::buffer_lo_missing_case(fixed_spec));
+    engine::CoverageRequest fixed_req = make_request(suite, "lo");
+    fixed_req.model = fixed;
+    const engine::SuiteResult r2 = eng.run(fixed_req);
     std::printf("buffer fixed + missing case:     %6.2f%%\n",
-                100.0 * hit / space);
+                r2.signals.front().percent);
   }
 
   {
-    fsm::SymbolicFsm fsm(pipe);
-    ctl::ModelChecker mc(fsm);
-    core::CoverageEstimator est(mc);
-    const auto out = core::observe_bool(pipe, "out");
+    engine::CoverageRequest base;
+    base.model = pipe;
+    auto session = eng.open(base);
     auto suite = circuits::pipeline_properties_initial(p);
     std::printf("pipeline, initial 8 props:       %6.2f%%\n",
-                est.coverage(suite, out).percent);
+                phase_percent(*session, suite, "out"));
     for (const auto& f : circuits::pipeline_hold_properties(p)) {
       suite.push_back(f);
     }
     std::printf("pipeline, +output-hold props:    %6.2f%%  "
                 "(the 3-cycle hold hole closed)\n",
-                est.coverage(suite, out).percent);
+                phase_percent(*session, suite, "out"));
   }
   return 0;
 }

@@ -1,69 +1,92 @@
 // Circuit 2 of the paper: the circular queue's wrap bit.
 //
-// Replays the Section-5 story: the initial wrap-bit suite reaches ~60%
-// coverage; three additional properties written after inspecting
-// uncovered states raise it but still short of 100%; tracing the
-// remaining holes reveals the corner "stall asserted while the write
-// pointer wraps"; the final stall property closes the gap. The full and
-// empty status signals are fully covered by two properties each.
+// Replays the Section-5 story through the engine facade: the initial
+// wrap-bit suite reaches ~60% coverage; three additional properties
+// written after inspecting uncovered states raise it but still short of
+// 100%; tracing the remaining holes reveals the corner "stall asserted
+// while the write pointer wraps"; the final stall property closes the
+// gap. The full and empty status signals are fully covered by two
+// properties each. Every phase is one `CoverageRequest` on a shared
+// `Session`, so the growing suite re-verifies incrementally.
 #include <cstdio>
 
 #include "circuits/circuits.h"
-#include "core/coverage.h"
-#include "ctl/checker.h"
-#include "fsm/symbolic_fsm.h"
+#include "engine/engine.h"
+
+namespace {
+
+using namespace covest;
+
+engine::CoverageRequest suite_request(
+    const std::vector<ctl::Formula>& props, const std::string& signal,
+    bool want_trace = false) {
+  engine::CoverageRequest req;
+  for (const auto& f : props) {
+    req.properties.push_back(engine::PropertySpec::of(f));
+  }
+  req.signals = {signal};
+  req.uncovered_limit = want_trace ? 3 : 0;
+  req.want_traces = want_trace;
+  return req;
+}
+
+}  // namespace
 
 int main() {
-  using namespace covest;
-
   const circuits::CircularQueueSpec spec{3};  // Depth-8 queue.
-  fsm::SymbolicFsm fsm(circuits::make_circular_queue(spec));
-  ctl::ModelChecker checker(fsm);
-  core::CoverageEstimator estimator(checker);
-  const core::ObservedSignal wrap = core::observe_bool(fsm.model(), "wrap");
 
-  const auto pct = [&](const std::vector<ctl::Formula>& props,
-                       const core::ObservedSignal& q, bdd::Bdd* covered) {
-    const core::SignalCoverage sc = estimator.coverage(props, q);
-    if (covered != nullptr) *covered = sc.covered;
-    return sc.percent;
-  };
+  engine::CoverageRequest base;
+  base.model = circuits::make_circular_queue(spec);
+  auto session = engine::Engine().open(base);
 
   std::printf("=== circular queue: wrap bit coverage ===\n");
   auto suite = circuits::queue_wrap_properties_initial(spec);
+  const engine::SuiteResult phase1 =
+      session->run(suite_request(suite, "wrap"));
   std::printf("phase 1 (%zu toggle/clear properties): %6.2f%%   "
               "(paper: 60.08%%)\n",
-              suite.size(), pct(suite, wrap, nullptr));
+              suite.size(), phase1.signals.front().percent);
 
   for (const auto& f : circuits::queue_wrap_properties_additional(spec)) {
     suite.push_back(f);
   }
-  bdd::Bdd covered;
-  const double phase2 = pct(suite, wrap, &covered);
+  const engine::SuiteResult phase2 =
+      session->run(suite_request(suite, "wrap", /*want_trace=*/true));
+  const engine::SignalRow& wrap2 = phase2.signals.front();
   std::printf("phase 2 (+3 hold properties):          %6.2f%%   "
-              "(paper: still short of 100%%)\n", phase2);
+              "(paper: still short of 100%%)\n", wrap2.percent);
 
   std::printf("\ntracing a remaining uncovered state:\n");
-  if (const auto trace = estimator.trace_to_uncovered(covered)) {
-    std::printf("%s", trace->to_string(fsm).c_str());
-    const auto& last_input = trace->steps[trace->steps.size() - 2].values;
-    std::printf("-> stall=%llu while a pointer wraps: the subtle corner "
-                "the paper describes.\n",
-                static_cast<unsigned long long>(last_input.at("stall")));
+  if (wrap2.trace) {
+    std::printf("%s", wrap2.trace->text.c_str());
+    // The second-to-last step carries the inputs driving the final
+    // transition.
+    const auto& inputs = wrap2.trace->steps[wrap2.trace->steps.size() - 2];
+    for (const auto& [name, value] : inputs) {
+      if (name == "stall") {
+        std::printf("-> stall=%llu while a pointer wraps: the subtle corner "
+                    "the paper describes.\n",
+                    static_cast<unsigned long long>(value));
+      }
+    }
   }
 
   suite.push_back(circuits::queue_wrap_stall_property(spec));
+  const engine::SuiteResult phase3 =
+      session->run(suite_request(suite, "wrap"));
   std::printf("\nphase 3 (+ wrap-unchanged-under-stall): %6.2f%%\n",
-              pct(suite, wrap, nullptr));
+              phase3.signals.front().percent);
 
   std::printf("\n=== status signals ===\n");
+  const auto full_props = circuits::queue_full_properties(spec);
+  const auto empty_props = circuits::queue_empty_properties(spec);
   std::printf("full  (%zu properties): %6.2f%%   (paper: 100.00%%)\n",
-              circuits::queue_full_properties(spec).size(),
-              pct(circuits::queue_full_properties(spec),
-                  core::observe_bool(fsm.model(), "full"), nullptr));
+              full_props.size(),
+              session->run(suite_request(full_props, "full"))
+                  .signals.front().percent);
   std::printf("empty (%zu properties): %6.2f%%   (paper: 100.00%%)\n",
-              circuits::queue_empty_properties(spec).size(),
-              pct(circuits::queue_empty_properties(spec),
-                  core::observe_bool(fsm.model(), "empty"), nullptr));
+              empty_props.size(),
+              session->run(suite_request(empty_props, "empty"))
+                  .signals.front().percent);
   return 0;
 }

@@ -1,38 +1,54 @@
 // coverage_tool — the command-line coverage estimator.
 //
-// Reads a `.cov` model file (see src/model/model_parser.h for the
-// language), verifies every SPEC with the symbolic model checker and
-// reports the coverage of each observed signal, with uncovered-state
-// samples and a shortest trace to a hole — the workflow of Section 4.1
-// of the paper.
+// A thin adapter from argv to the engine facade: arguments become a
+// `engine::CoverageRequest`, `engine::Engine::run` executes the whole
+// parse -> verify -> estimate pipeline, and the structured
+// `engine::SuiteResult` is rendered as text (default) or JSON (--json).
 //
 //   coverage_tool examples/models/counter.cov
-//   coverage_tool examples/models/queue.cov --uncovered 8 --trace
+//   coverage_tool examples/models/arbiter.cov --uncovered 8 --trace
+//   coverage_tool examples/models/arbiter.cov --json
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <map>
 #include <string>
-#include <vector>
 
-#include "core/coverage.h"
-#include "ctl/checker.h"
-#include "ctl/ctl_parser.h"
-#include "fsm/symbolic_fsm.h"
-#include "model/model_parser.h"
+#include "engine/engine.h"
+#include "engine/result_json.h"
+#include "engine/result_text.h"
 
 namespace {
 
-void usage() {
-  std::printf(
+void usage(std::FILE* to) {
+  std::fprintf(to,
       "usage: coverage_tool <model.cov> [options]\n"
       "\n"
       "options:\n"
       "  --uncovered N   list up to N uncovered states per signal (default 4)\n"
       "  --trace         print a shortest input trace to an uncovered state\n"
       "  --skip-failing  estimate coverage even when some SPECs fail\n"
+      "  --json          emit the structured result as JSON\n"
       "\n"
       "The model file declares properties and observed signals:\n"
       "  SPEC AG (full -> AX !grant) OBSERVE full;\n");
+}
+
+/// Strict non-negative integer parse: rejects empty strings, trailing
+/// garbage, signs and out-of-range values instead of best-effort
+/// truncation.
+bool parse_count(const char* text, std::size_t* out) {
+  if (text == nullptr || *text == '\0' || !std::isdigit(
+          static_cast<unsigned char>(*text))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
 }
 
 }  // namespace
@@ -41,94 +57,55 @@ int main(int argc, char** argv) {
   using namespace covest;
 
   if (argc < 2) {
-    usage();
-    return 0;
+    usage(stderr);
+    return 2;
   }
-  std::string path;
-  std::size_t uncovered_limit = 4;
-  bool want_trace = false;
-  bool skip_failing = false;
+
+  engine::CoverageRequest request;
+  bool want_json = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--uncovered") == 0 && i + 1 < argc) {
-      uncovered_limit = static_cast<std::size_t>(std::stoul(argv[++i]));
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
-      want_trace = true;
-    } else if (std::strcmp(argv[i], "--skip-failing") == 0) {
-      skip_failing = true;
-    } else if (path.empty()) {
-      path = argv[i];
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--uncovered") == 0) {
+      if (i + 1 >= argc || !parse_count(argv[++i], &request.uncovered_limit)) {
+        std::fprintf(stderr,
+                     "error: --uncovered needs a non-negative integer\n\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      request.want_traces = true;
+    } else if (std::strcmp(arg, "--skip-failing") == 0) {
+      request.skip_failing = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      want_json = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n\n", arg);
+      usage(stderr);
+      return 2;
+    } else if (request.model_path.empty()) {
+      request.model_path = arg;
     } else {
-      usage();
+      std::fprintf(stderr, "error: more than one model file given\n\n");
+      usage(stderr);
       return 2;
     }
   }
+  if (request.model_path.empty()) {
+    std::fprintf(stderr, "error: no model file given\n\n");
+    usage(stderr);
+    return 2;
+  }
 
   try {
-    const model::Model m = model::parse_model_file(path);
-    fsm::SymbolicFsm fsm(m);
-    ctl::ModelChecker checker(fsm);
-
-    std::printf("model %s: %u state bits, %.0f reachable states\n",
-                m.name().c_str(), m.state_bit_count(),
-                fsm.count_states(fsm.reachable(fsm.initial_states())));
-
-    // Verify all SPECs and bucket them by observed signal.
-    std::vector<ctl::Formula> verified;
-    std::map<std::string, std::vector<ctl::Formula>> by_signal;
-    std::size_t failures = 0;
-    for (const model::SpecEntry& spec : m.specs()) {
-      const ctl::Formula f = ctl::parse_ctl(spec.ctl_text);
-      const ctl::CheckResult r = checker.check(f);
-      std::printf("[%s] %s\n", r.holds ? "PASS" : "FAIL",
-                  spec.ctl_text.c_str());
-      if (!r.holds) {
-        ++failures;
-        if (r.counterexample) {
-          std::printf("  counterexample:\n%s",
-                      r.counterexample->to_string(fsm).c_str());
-        }
-        if (!skip_failing) continue;
-      }
-      verified.push_back(f);
-      for (const std::string& name : spec.observed) {
-        by_signal[name].push_back(f);
-      }
+    const engine::SuiteResult result = engine::Engine().run(request);
+    if (want_json) {
+      std::fputs(engine::to_json(result).c_str(), stdout);
+    } else {
+      engine::TextOptions text;
+      text.cli_hints = true;
+      std::fputs(engine::render_text(result, text).c_str(), stdout);
     }
-    if (failures > 0 && !skip_failing) {
-      std::printf("\n%zu SPEC(s) failed; their coverage is skipped "
-                  "(use --skip-failing to include the rest).\n", failures);
-    }
-
-    core::CoverageOptions opts;
-    opts.require_holds = false;
-    core::CoverageEstimator estimator(checker, opts);
-    const double space = fsm.count_states(estimator.coverage_space());
-    std::printf("\ncoverage space: %.0f states "
-                "(reachable, fair, excluding DONTCAREs)\n\n", space);
-    std::printf("%-16s %6s %9s\n", "signal", "#prop", "%cov");
-
-    for (const auto& [name, props] : by_signal) {
-      bdd::Bdd covered = fsm.mgr().bdd_false();
-      for (const auto& q : core::observe_all_bits(m, name)) {
-        covered |= estimator.coverage(props, q).covered;
-      }
-      const double hit = fsm.mgr().sat_count(
-          covered & estimator.coverage_space(), fsm.current_vars());
-      std::printf("%-16s %6zu %8.2f%%\n", name.c_str(), props.size(),
-                  space == 0 ? 100.0 : 100.0 * hit / space);
-
-      const auto holes = estimator.uncovered_examples(covered,
-                                                      uncovered_limit);
-      for (const auto& line : holes) {
-        std::printf("    uncovered: %s\n", line.c_str());
-      }
-      if (want_trace && !holes.empty()) {
-        if (const auto trace = estimator.trace_to_uncovered(covered)) {
-          std::printf("    trace:\n%s", trace->to_string(fsm).c_str());
-        }
-      }
-    }
-    return failures == 0 ? 0 : 1;
+    return result.all_passed() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

@@ -1,14 +1,11 @@
 // A fourth scenario: a request/acknowledge handshake arbiter, written in
-// the `.cov` model language at runtime and driven through the whole
-// pipeline — parse, verify, estimate coverage, inspect holes, extend the
-// suite. Shows observing a DEFINE proposition and using DONTCARE to
+// the `.cov` model language at runtime and driven through the engine
+// facade — one `CoverageRequest` covers parse, verify, estimate and hole
+// inspection. Shows observing a DEFINE proposition and using DONTCARE to
 // exclude idle states from the metric.
 #include <cstdio>
 
-#include "core/coverage.h"
-#include "ctl/checker.h"
-#include "ctl/ctl_parser.h"
-#include "fsm/symbolic_fsm.h"
+#include "engine/engine.h"
 #include "model/model_parser.h"
 
 namespace {
@@ -49,43 +46,42 @@ SPEC AG (tie & pref -> AX (g1 & !g0))     OBSERVE g1;
 int main() {
   using namespace covest;
 
-  const model::Model m = model::parse_model(kArbiter);
-  fsm::SymbolicFsm fsm(m);
-  ctl::ModelChecker checker(fsm);
+  // The model's own SPEC/OBSERVE lines define the suite: the request
+  // only carries the model and the reporting limits.
+  engine::CoverageRequest request;
+  request.model = model::parse_model(kArbiter);
+  request.uncovered_limit = 3;
+
+  auto session = engine::Engine().open(request);
+  const engine::SuiteResult result = session->run(request);
 
   std::printf("=== round-robin arbiter ===\n");
-  std::printf("reachable states: %.0f\n\n",
-              fsm.count_states(fsm.reachable(fsm.initial_states())));
-
-  std::vector<ctl::Formula> props;
-  for (const auto& spec : m.specs()) {
-    const ctl::Formula f = ctl::parse_ctl(spec.ctl_text);
-    std::printf("[%s] %s\n", checker.holds(f) ? "PASS" : "FAIL",
-                spec.ctl_text.c_str());
-    props.push_back(f);
+  std::printf("reachable states: %.0f\n\n", result.reachable_states);
+  for (const auto& p : result.properties) {
+    std::printf("[%s] %s\n", p.holds ? "PASS" : "FAIL", p.ctl_text.c_str());
   }
 
-  core::CoverageEstimator estimator(checker);
   std::printf("\ncoverage space (granted states only, per DONTCARE): "
               "%.0f states\n",
-              fsm.count_states(estimator.coverage_space()));
+              result.space_count);
 
-  for (const char* sig : {"g0", "g1"}) {
-    const auto sc =
-        estimator.coverage(props, core::observe_bool(m, sig));
-    std::printf("\n%s: %.2f%% covered by %zu properties\n", sig, sc.percent,
-                sc.num_properties);
-    for (const auto& line : estimator.uncovered_examples(sc.covered, 3)) {
+  for (const auto& row : result.signals) {
+    std::printf("\n%s: %.2f%% covered by %zu properties\n", row.name.c_str(),
+                row.percent, row.num_properties);
+    for (const auto& line : row.uncovered) {
       std::printf("  uncovered: %s\n", line.c_str());
     }
   }
 
   // The mutual-exclusion property alone already covers every granted
   // state for both lines — a nice illustration that one strong invariant
-  // can dominate the metric.
-  const auto mutex = ctl::parse_ctl("AG (!(g0 & g1))");
-  const auto sc =
-      estimator.coverage({mutex}, core::observe_bool(m, "g0"));
-  std::printf("\nmutual exclusion alone covers %.2f%% for g0\n", sc.percent);
+  // can dominate the metric. Same session, different suite.
+  engine::CoverageRequest mutex_only = request;
+  mutex_only.properties = {
+      engine::PropertySpec::text("AG (!(g0 & g1))")};
+  mutex_only.signals = {"g0"};
+  const engine::SuiteResult mutex = session->run(mutex_only);
+  std::printf("\nmutual exclusion alone covers %.2f%% for g0\n",
+              mutex.signals.front().percent);
   return 0;
 }

@@ -3,49 +3,54 @@
 // A 1-bit datapath staged through the pipe with valid bits, FAIRNESS on
 // the stall input (eventuality properties need it), a DONTCARE on the
 // invalid-output states (Section 4.2), and the end-of-pipe state machine
-// that holds the output for 3 cycles — the paper's "biggest hole".
+// that holds the output for 3 cycles — the paper's "biggest hole". Both
+// estimation phases run through the engine facade on one session.
 #include <cstdio>
 
 #include "circuits/circuits.h"
-#include "core/coverage.h"
-#include "ctl/checker.h"
-#include "fsm/symbolic_fsm.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace covest;
 
   const circuits::PipelineSpec spec{3, 3};
-  fsm::SymbolicFsm fsm(circuits::make_pipeline(spec));
-  ctl::ModelChecker checker(fsm);
-  core::CoverageEstimator estimator(checker);
-  const core::ObservedSignal out = core::observe_bool(fsm.model(), "out");
+
+  engine::CoverageRequest request;
+  request.model = circuits::make_pipeline(spec);
+  for (const auto& f : circuits::pipeline_properties_initial(spec)) {
+    request.properties.push_back(engine::PropertySpec::of(f));
+  }
+  request.signals = {"out"};
+  request.uncovered_limit = 3;
 
   std::printf("=== decode pipeline (%u stages, %u-cycle output hold) ===\n",
               spec.stages, spec.hold_cycles);
   std::printf("fairness: !stall infinitely often (eventualities need it)\n");
   std::printf("dontcare: !outv (output irrelevant before first delivery)\n\n");
 
-  auto props = circuits::pipeline_properties_initial(spec);
-  int held = 0;
-  for (const auto& f : props) held += checker.holds(f);
-  std::printf("initial suite: %d/%zu properties hold "
+  auto session = engine::Engine().open(request);
+  const engine::SuiteResult initial = session->run(request);
+  std::printf("initial suite: %zu/%zu properties hold "
               "(AF eventualities, nested Untils, transfers)\n",
-              held, props.size());
+              initial.properties.size() - initial.failures,
+              initial.properties.size());
 
-  core::SignalCoverage sc = estimator.coverage(props, out);
-  std::printf("coverage for 'out': %6.2f%%   (paper: 74.36%%)\n", sc.percent);
+  const engine::SignalRow& out = initial.signals.front();
+  std::printf("coverage for 'out': %6.2f%%   (paper: 74.36%%)\n", out.percent);
 
   std::printf("\nuncovered states (all inside the hold sequence):\n");
-  for (const auto& line : estimator.uncovered_examples(sc.covered, 3)) {
+  for (const auto& line : out.uncovered) {
     std::printf("  %s\n", line.c_str());
   }
   std::printf("-> \"the pipeline output retains its value for 3 cycles "
               "while data is being processed\"\n");
 
+  engine::CoverageRequest strengthened = request;
   for (const auto& f : circuits::pipeline_hold_properties(spec)) {
-    props.push_back(f);
+    strengthened.properties.push_back(engine::PropertySpec::of(f));
   }
-  sc = estimator.coverage(props, out);
-  std::printf("\nwith output-hold properties: %6.2f%%\n", sc.percent);
+  const engine::SuiteResult with_hold = session->run(strengthened);
+  std::printf("\nwith output-hold properties: %6.2f%%\n",
+              with_hold.signals.front().percent);
   return 0;
 }

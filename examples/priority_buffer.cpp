@@ -1,93 +1,100 @@
 // Circuit 1 of the paper: the priority buffer and the escaped bug.
 //
-// Replays the Section-5 story: the initial property suites verify on the
-// design, hi-pri coverage is 100% but lo-pri coverage has a small hole;
-// inspecting the hole reveals the missing case ("buffer empty, low
-// priority entries incoming"); the property written for that case FAILS —
-// a real bug had escaped the initial model checking effort.
+// Replays the Section-5 story through the engine facade: the initial
+// property suites verify on the design, hi-pri coverage is 100% but
+// lo-pri coverage has a small hole; inspecting the hole reveals the
+// missing case ("buffer empty, low priority entries incoming"); the
+// property written for that case FAILS — a real bug had escaped the
+// initial model checking effort.
 #include <cstdio>
 
 #include "circuits/circuits.h"
-#include "core/coverage.h"
-#include "ctl/checker.h"
-#include "fsm/symbolic_fsm.h"
+#include "engine/engine.h"
 
 namespace {
 
-double suite_coverage(covest::fsm::SymbolicFsm& fsm,
-                      covest::core::CoverageEstimator& est,
-                      const std::vector<covest::ctl::Formula>& props,
-                      const std::string& signal, covest::bdd::Bdd* covered) {
-  *covered = fsm.mgr().bdd_false();
-  for (const auto& q : covest::core::observe_all_bits(fsm.model(), signal)) {
-    *covered |= est.coverage(props, q).covered;
+using namespace covest;
+
+/// Tags every formula of a suite with the signal row it contributes to.
+void add_suite(engine::CoverageRequest& req,
+               const std::vector<ctl::Formula>& props,
+               const std::string& signal) {
+  for (const auto& f : props) {
+    req.properties.push_back(engine::PropertySpec::of(f, {signal}));
   }
-  const double space = fsm.count_states(est.coverage_space());
-  return 100.0 * fsm.mgr().sat_count(*covered & est.coverage_space(),
-                                     fsm.current_vars()) / space;
 }
 
 }  // namespace
 
 int main() {
-  using namespace covest;
-
   const circuits::PriorityBufferSpec buggy{8, true};
-  fsm::SymbolicFsm fsm(circuits::make_priority_buffer(buggy));
-  ctl::ModelChecker checker(fsm);
-  core::CoverageEstimator estimator(checker);
 
   std::printf("=== priority buffer (the design under verification) ===\n");
 
-  // Phase 1: verify the initial suites. Everything passes — the bug is
-  // not exercised by any property.
-  const auto hi_props = circuits::buffer_hi_properties(buggy);
-  const auto lo_props = circuits::buffer_lo_properties_initial(buggy);
-  int held = 0;
-  for (const auto& f : hi_props) held += checker.holds(f);
-  for (const auto& f : lo_props) held += checker.holds(f);
-  std::printf("initial verification: %d/%zu properties hold\n", held,
-              hi_props.size() + lo_props.size());
+  // Phases 1+2: one request verifies both suites and reports one row per
+  // observed signal, with hole samples and a trace for the lo-pri gap.
+  engine::CoverageRequest request;
+  request.model = circuits::make_priority_buffer(buggy);
+  add_suite(request, circuits::buffer_hi_properties(buggy), "hi");
+  add_suite(request, circuits::buffer_lo_properties_initial(buggy), "lo");
+  request.uncovered_limit = 3;
+  request.want_traces = true;
 
-  // Phase 2: coverage estimation uncovers a hole for lo-pri.
-  bdd::Bdd covered_hi, covered_lo;
-  const double hi_pct =
-      suite_coverage(fsm, estimator, hi_props, "hi", &covered_hi);
-  const double lo_pct =
-      suite_coverage(fsm, estimator, lo_props, "lo", &covered_lo);
-  std::printf("coverage hi-pri: %6.2f%%   (paper: 100.00%%)\n", hi_pct);
-  std::printf("coverage lo-pri: %6.2f%%   (paper:  99.98%%)\n", lo_pct);
+  auto session = engine::Engine().open(request);
+  const engine::SuiteResult result = session->run(request);
+
+  std::printf("initial verification: %zu/%zu properties hold\n",
+              result.properties.size() - result.failures,
+              result.properties.size());
+
+  const engine::SignalRow* hi = nullptr;
+  const engine::SignalRow* lo = nullptr;
+  for (const auto& row : result.signals) {
+    if (row.name == "hi") hi = &row;
+    if (row.name == "lo") lo = &row;
+  }
+  if (hi == nullptr || lo == nullptr) {
+    std::fprintf(stderr, "expected 'hi' and 'lo' rows in the result\n");
+    return 1;
+  }
+  std::printf("coverage hi-pri: %6.2f%%   (paper: 100.00%%)\n", hi->percent);
+  std::printf("coverage lo-pri: %6.2f%%   (paper:  99.98%%)\n", lo->percent);
 
   std::printf("\nuncovered lo-pri states:\n");
-  for (const auto& line : estimator.uncovered_examples(covered_lo, 3)) {
+  for (const auto& line : lo->uncovered) {
     std::printf("  %s\n", line.c_str());
   }
-  if (const auto trace = estimator.trace_to_uncovered(covered_lo)) {
+  if (lo->trace) {
     std::printf("trace to the hole (note the empty buffer + incoming lo):\n%s",
-                trace->to_string(fsm).c_str());
+                lo->trace->text.c_str());
   }
 
-  // Phase 3: write the missing-case property — and watch it fail.
-  const ctl::Formula missing = circuits::buffer_lo_missing_case(buggy);
-  const ctl::CheckResult r = checker.check(missing);
+  // Phase 3: write the missing-case property — and watch it fail. The
+  // verification-only run (no signal rows) reuses the session's memo.
+  engine::CoverageRequest probe;
+  probe.properties = {
+      engine::PropertySpec::of(circuits::buffer_lo_missing_case(buggy))};
+  probe.skip_failing = true;
+  const engine::SuiteResult probed = session->run(probe);
+  const engine::PropertyResult& missing = probed.properties.front();
   std::printf("\nmissing-case property: %s\n",
-              r.holds ? "HOLDS" : "FAILS  <-- the escaped bug!");
-  if (r.counterexample) {
+              missing.holds ? "HOLDS" : "FAILS  <-- the escaped bug!");
+  if (missing.counterexample) {
     std::printf("counterexample (lo entries dropped):\n%s",
-                r.counterexample->to_string(fsm).c_str());
+                missing.counterexample->text.c_str());
   }
 
   // Phase 4: fix the design; the property holds and coverage is closed.
   const circuits::PriorityBufferSpec fixed{8, false};
-  fsm::SymbolicFsm fsm2(circuits::make_priority_buffer(fixed));
-  ctl::ModelChecker checker2(fsm2);
-  core::CoverageEstimator estimator2(checker2);
-  auto full = circuits::buffer_lo_properties_initial(fixed);
-  full.push_back(circuits::buffer_lo_missing_case(fixed));
-  bdd::Bdd covered_fixed;
-  const double fixed_pct =
-      suite_coverage(fsm2, estimator2, full, "lo", &covered_fixed);
+  engine::CoverageRequest closing;
+  closing.model = circuits::make_priority_buffer(fixed);
+  add_suite(closing, circuits::buffer_lo_properties_initial(fixed), "lo");
+  closing.properties.push_back(
+      engine::PropertySpec::of(circuits::buffer_lo_missing_case(fixed),
+                               {"lo"}));
+  const engine::SuiteResult after = engine::Engine().run(closing);
   std::printf("\nafter the fix: missing-case property %s, lo coverage %.2f%%\n",
-              checker2.holds(full.back()) ? "HOLDS" : "FAILS", fixed_pct);
+              after.properties.back().holds ? "HOLDS" : "FAILS",
+              after.signals.front().percent);
   return 0;
 }

@@ -1,72 +1,75 @@
-// Quickstart: the paper's Section-1 example end to end.
+// Quickstart: the paper's Section-1 example end to end, driven through
+// the engine facade.
 //
-// Builds the modulo-5 counter with stall/reset inputs, verifies the
-// introduction's property
+// Builds the modulo-5 counter with stall/reset inputs, then declares the
+// whole job as one `engine::CoverageRequest`: the introduction's
+// properties
 //
 //   AG((!stall & !reset & count == C) -> AX(count == C+1))
 //
-// for every C, and asks the coverage estimator how much of the reachable
-// state space those properties actually check for `count`.
+// plus the observed signal `count`. A `Session` executes verification
+// and coverage estimation in one call and returns a structured
+// `SuiteResult`; re-running a strengthened suite on the same session
+// reuses the checker's memoized satisfaction sets.
 #include <cstdio>
 
 #include "circuits/circuits.h"
-#include "core/coverage.h"
-#include "ctl/checker.h"
-#include "ctl/ctl_parser.h"
-#include "fsm/symbolic_fsm.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace covest;
 
   // 1. The design: a modulo-5 counter (3-bit register, stall and reset).
   const circuits::CounterSpec spec{3, 5};
-  const model::Model counter = circuits::make_mod_counter(spec);
-  fsm::SymbolicFsm fsm(counter);
-  ctl::ModelChecker checker(fsm);
 
-  std::printf("model: %s (%u state bits)\n", counter.name().c_str(),
-              counter.state_bit_count());
-  std::printf("reachable states: %.0f\n\n",
-              fsm.count_states(fsm.reachable(fsm.initial_states())));
+  // 2. The job: verify the increment properties and report coverage of
+  //    the observed signal `count` (the facade unions its bits), with
+  //    uncovered-state samples and a shortest trace to a hole.
+  engine::CoverageRequest request;
+  request.model = circuits::make_mod_counter(spec);
+  for (const auto& f : circuits::counter_increment_properties(spec)) {
+    request.properties.push_back(engine::PropertySpec::of(f));
+  }
+  request.signals = {"count"};
+  request.uncovered_limit = 4;
+  request.want_traces = true;
 
-  // 2. Verify the increment properties (one per counter value).
-  const auto properties = circuits::counter_increment_properties(spec);
-  for (const auto& f : properties) {
-    std::printf("%-64s %s\n", ctl::to_string(f).c_str(),
-                checker.holds(f) ? "HOLDS" : "FAILS");
+  // 3. Run it. `Engine::open` keeps the session (and its caches) so the
+  //    strengthened suite below re-verifies incrementally.
+  auto session = engine::Engine().open(request);
+  const engine::SuiteResult result = session->run(request);
+
+  std::printf("model: %s (%u state bits)\n", result.model_name.c_str(),
+              result.state_bits);
+  std::printf("reachable states: %.0f\n\n", result.reachable_states);
+  for (const auto& p : result.properties) {
+    std::printf("%-64s %s\n", p.ctl_text.c_str(),
+                p.holds ? "HOLDS" : "FAILS");
   }
 
-  // 3. Coverage for the observed signal `count` (union over its bits).
-  core::CoverageEstimator estimator(checker);
-  bdd::Bdd covered = fsm.mgr().bdd_false();
-  for (const auto& q : core::observe_all_bits(counter, "count")) {
-    covered |= estimator.coverage(properties, q).covered;
-  }
-  const double space = fsm.count_states(estimator.coverage_space());
-  const double hit = fsm.mgr().sat_count(covered & estimator.coverage_space(),
-                                         fsm.current_vars());
+  const engine::SignalRow& count = result.signals.front();
   std::printf("\ncoverage for 'count': %.2f%% (%.0f of %.0f states)\n",
-              100.0 * hit / space, hit, space);
+              count.percent, count.covered_count, result.space_count);
 
   // 4. Inspect the hole: the properties never check count at reset.
   std::printf("\nuncovered states:\n");
-  for (const auto& line : estimator.uncovered_examples(covered, 4)) {
+  for (const auto& line : count.uncovered) {
     std::printf("  %s\n", line.c_str());
   }
-  if (const auto trace = estimator.trace_to_uncovered(covered)) {
+  if (count.trace) {
     std::printf("\nshortest trace to an uncovered state:\n%s",
-                trace->to_string(fsm).c_str());
+                count.trace->text.c_str());
   }
 
-  // 5. Strengthen the suite (wrap, stall-hold, reset) and re-estimate.
-  const auto full = circuits::counter_full_suite(spec);
-  covered = fsm.mgr().bdd_false();
-  for (const auto& q : core::observe_all_bits(counter, "count")) {
-    covered |= estimator.coverage(full, q).covered;
+  // 5. Strengthen the suite (wrap, stall-hold, reset) and re-estimate on
+  //    the same session.
+  engine::CoverageRequest stronger = request;
+  stronger.properties.clear();
+  for (const auto& f : circuits::counter_full_suite(spec)) {
+    stronger.properties.push_back(engine::PropertySpec::of(f));
   }
-  const double hit2 = fsm.mgr().sat_count(
-      covered & estimator.coverage_space(), fsm.current_vars());
+  const engine::SuiteResult better = session->run(stronger);
   std::printf("\nafter strengthening the suite: %.2f%% coverage\n",
-              100.0 * hit2 / space);
+              better.signals.front().percent);
   return 0;
 }

@@ -227,6 +227,30 @@ SignalCoverage CoverageEstimator::coverage(
   return result;
 }
 
+SignalCoverage CoverageEstimator::coverage(
+    const std::vector<Formula>& properties,
+    const std::vector<ObservedSignal>& group) {
+  SignalCoverage merged;
+  merged.covered = fsm_.mgr().bdd_false();
+  if (group.empty()) return merged;
+  merged.signal = group.front();
+  for (const ObservedSignal& q : group) {
+    const SignalCoverage sc = coverage(properties, q);
+    merged.covered |= sc.covered;
+    merged.num_properties = std::max(merged.num_properties,
+                                     sc.num_properties);
+  }
+  if (group.size() > 1) {
+    merged.signal.bit.reset();  // Whole-word entry.
+  }
+  const double space = fsm_.count_states(coverage_space());
+  const Bdd in_space = merged.covered & coverage_space();
+  merged.covered_count = fsm_.count_states(in_space);
+  merged.percent =
+      space == 0.0 ? 100.0 : 100.0 * merged.covered_count / space;
+  return merged;
+}
+
 CoverageReport CoverageEstimator::report(
     const std::vector<Formula>& properties,
     const std::vector<std::vector<ObservedSignal>>& groups) {
@@ -235,24 +259,7 @@ CoverageReport CoverageEstimator::report(
   rep.space_count = fsm_.count_states(rep.coverage_space);
   for (const auto& group : groups) {
     if (group.empty()) continue;
-    SignalCoverage merged;
-    merged.signal = group.front();
-    merged.covered = fsm_.mgr().bdd_false();
-    for (const ObservedSignal& q : group) {
-      const SignalCoverage sc = coverage(properties, q);
-      merged.covered |= sc.covered;
-      merged.num_properties = std::max(merged.num_properties,
-                                       sc.num_properties);
-    }
-    if (group.size() > 1) {
-      merged.signal.bit.reset();  // Whole-word entry.
-    }
-    const Bdd in_space = merged.covered & coverage_space();
-    merged.covered_count = fsm_.count_states(in_space);
-    merged.percent = rep.space_count == 0.0
-                         ? 100.0
-                         : 100.0 * merged.covered_count / rep.space_count;
-    rep.signals.push_back(std::move(merged));
+    rep.signals.push_back(coverage(properties, group));
   }
   return rep;
 }

@@ -91,6 +91,13 @@ class CoverageEstimator {
   SignalCoverage coverage(const std::vector<ctl::Formula>& properties,
                           const ObservedSignal& q);
 
+  /// One Table-2 row for a group of observed bits: the union of the
+  /// per-bit covered sets (a word signal's row unions its bits,
+  /// Section 2). This is the single per-signal aggregation — `report()`
+  /// and the engine facade both delegate here.
+  SignalCoverage coverage(const std::vector<ctl::Formula>& properties,
+                          const std::vector<ObservedSignal>& group);
+
   /// Multi-signal report (one Table-2 row per observed signal). A word
   /// signal's entry is the union over its bits.
   CoverageReport report(const std::vector<ctl::Formula>& properties,

@@ -7,11 +7,10 @@ namespace covest::ctl {
 using bdd::Bdd;
 
 Bdd ModelChecker::sat(const Formula& f) {
-  auto it = memo_.find(f.id());
+  auto it = memo_.find(f);
   if (it != memo_.end()) return it->second;
   Bdd result = compute(f);
-  memo_.emplace(f.id(), result);
-  retained_.push_back(f);
+  memo_.emplace(f, result);
   return result;
 }
 

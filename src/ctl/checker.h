@@ -59,10 +59,7 @@ class ModelChecker {
   /// Number of memoized sub-formula satisfaction sets (for the
   /// memoization ablation benchmark).
   std::size_t memo_size() const { return memo_.size(); }
-  void clear_memo() {
-    memo_.clear();
-    retained_.clear();
-  }
+  void clear_memo() { memo_.clear(); }
 
  private:
   bdd::Bdd compute(const Formula& f);
@@ -73,11 +70,12 @@ class ModelChecker {
   bdd::Bdd eg_plain(const bdd::Bdd& p);
 
   const fsm::SymbolicFsm& fsm_;
-  std::unordered_map<const void*, bdd::Bdd> memo_;
-  /// Keeps every memoized formula alive: the memo is keyed by AST node
-  /// address, so letting a node die would allow a later allocation to
-  /// reuse its address and collide with a stale entry.
-  std::vector<Formula> retained_;
+  /// Keyed by *structural* formula hash/equality, so identical SPEC
+  /// sub-formulas parsed separately share satisfaction sets across a
+  /// suite, and the Formula keys keep their ASTs alive for free.
+  std::unordered_map<Formula, bdd::Bdd, FormulaStructuralHash,
+                     FormulaStructuralEq>
+      memo_;
   std::optional<bdd::Bdd> fair_;
 };
 

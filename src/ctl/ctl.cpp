@@ -21,10 +21,25 @@ const Formula& Formula::arg(std::size_t i) const { return node_->args.at(i); }
 
 std::size_t Formula::arity() const { return node_->args.size(); }
 
+namespace {
+
+std::size_t node_hash(const FormulaNode& n) {
+  std::uint64_t h = static_cast<std::uint64_t>(n.op) + 0x9e3779b97f4a7c15ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  if (n.op == CtlOp::kProp) mix(expr::structural_hash(n.prop));
+  for (const Formula& a : n.args) mix(structural_hash(a));
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
 Formula Formula::prop(Expr e) {
   auto node = std::make_shared<FormulaNode>();
   node->op = CtlOp::kProp;
   node->prop = std::move(e);
+  node->hash = node_hash(*node);
   return Formula(std::move(node));
 }
 
@@ -46,7 +61,24 @@ Formula Formula::make(CtlOp op, std::vector<Formula> args) {
   if (node->args.size() != expected) {
     throw std::logic_error("wrong arity for CTL operator");
   }
+  node->hash = node_hash(*node);
   return Formula(std::move(node));
+}
+
+std::size_t structural_hash(const Formula& f) {
+  return f.valid() ? f.node()->hash : 0;
+}
+
+bool structural_equal(const Formula& a, const Formula& b) {
+  if (a.id() == b.id()) return true;
+  if (!a.valid() || !b.valid()) return false;
+  if (a.op() != b.op() || a.arity() != b.arity()) return false;
+  if (structural_hash(a) != structural_hash(b)) return false;
+  if (a.op() == CtlOp::kProp) return expr::structural_equal(a.prop(), b.prop());
+  for (std::size_t i = 0; i < a.arity(); ++i) {
+    if (!structural_equal(a.arg(i), b.arg(i))) return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------

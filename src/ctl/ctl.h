@@ -49,6 +49,9 @@ class Formula {
   /// Stable identity for memoization tables.
   const void* id() const { return node_.get(); }
 
+  /// Underlying shared node (null for an invalid handle).
+  const FormulaNode* node() const { return node_.get(); }
+
   // -- Factories --------------------------------------------------------------
   static Formula prop(expr::Expr e);
   static Formula make(CtlOp op, std::vector<Formula> args);
@@ -80,6 +83,10 @@ struct FormulaNode {
   CtlOp op = CtlOp::kProp;
   expr::Expr prop;
   std::vector<Formula> args;
+  /// Structural hash over op/atom/subformulas, computed once at
+  /// construction (subformula hashes are already cached, so this is O(1)
+  /// per node).
+  std::size_t hash = 0;
 };
 
 inline Formula operator!(const Formula& f) {
@@ -91,6 +98,25 @@ inline Formula operator&(const Formula& a, const Formula& b) {
 inline Formula operator|(const Formula& a, const Formula& b) {
   return Formula::make(CtlOp::kOr, {a, b});
 }
+
+/// Structural hash of a formula (cached per node, O(1) after
+/// construction). Structurally identical formulas hash equal even when
+/// parsed separately — the key property the model checker's memo relies
+/// on to share satisfaction sets across a suite.
+std::size_t structural_hash(const Formula& f);
+
+/// Structural equality: same operator tree and structurally equal atoms.
+bool structural_equal(const Formula& a, const Formula& b);
+
+/// Hash/equality functors for structural formula keys in hash maps.
+struct FormulaStructuralHash {
+  std::size_t operator()(const Formula& f) const { return structural_hash(f); }
+};
+struct FormulaStructuralEq {
+  bool operator()(const Formula& a, const Formula& b) const {
+    return structural_equal(a, b);
+  }
+};
 
 /// Merges propositional And/Or/Not/Iff subtrees into single kProp atoms.
 /// Implications are never merged (unless buried under a propositional

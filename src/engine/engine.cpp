@@ -1,0 +1,270 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+
+#include "ctl/ctl_parser.h"
+#include "fsm/trace.h"
+#include "model/model_parser.h"
+
+namespace covest::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Renders a symbolic trace into the self-contained result form (values
+/// in declaration order, so serializations are deterministic).
+TraceResult make_trace_result(const fsm::SymbolicFsm& fsm,
+                              const fsm::Trace& trace) {
+  TraceResult out;
+  out.steps.reserve(trace.steps.size());
+  for (const fsm::TraceStep& step : trace.steps) {
+    TraceResult::Step rendered;
+    for (const fsm::SignalLayout& l : fsm.layouts()) {
+      const auto it = step.values.find(l.name);
+      if (it != step.values.end()) rendered.emplace_back(l.name, it->second);
+    }
+    out.steps.push_back(std::move(rendered));
+  }
+  out.text = trace.to_string(fsm);
+  return out;
+}
+
+PhaseStats snapshot(bdd::BddManager& mgr, double ms) {
+  const bdd::BddStats& st = mgr.stats();
+  PhaseStats p;
+  p.ms = ms;
+  p.live_nodes = mgr.live_node_count();
+  p.peak_live_nodes = st.peak_live_nodes;
+  p.cache_hit_rate = st.cache_hit_rate();
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The suite runs are lenient by construction: failing properties are
+/// policy (skip or include-with-empty-coverage), never an exception.
+core::CoverageOptions lenient(core::CoverageOptions options) {
+  options.require_holds = false;
+  return options;
+}
+
+}  // namespace
+
+Session::Session(const model::Model& model, core::CoverageOptions options)
+    : fsm_(model), checker_(fsm_), estimator_(checker_, lenient(options)) {}
+
+SuiteResult Session::run(const CoverageRequest& request,
+                         const RunHooks& hooks) {
+  const auto t_run = Clock::now();
+  SuiteResult result;
+  const model::Model& m = model();
+  result.model_name = m.name();
+  result.state_bits = m.state_bit_count();
+  result.elaborate = snapshot(fsm_.mgr(), 0.0);
+
+  const auto progress = [&hooks](const Progress& p) {
+    return !hooks.on_progress || hooks.on_progress(p);
+  };
+
+  // -- Resolve the suite ----------------------------------------------------
+  std::vector<PropertySpec> specs = request.properties;
+  if (specs.empty()) {
+    for (const model::SpecEntry& s : m.specs()) {
+      PropertySpec spec;
+      spec.ctl_text = s.ctl_text;
+      spec.observe = s.observed;
+      spec.comment = s.comment;
+      specs.push_back(std::move(spec));
+    }
+  }
+  std::vector<ctl::Formula> formulas;
+  formulas.reserve(specs.size());
+  for (const PropertySpec& s : specs) {
+    ctl::Formula f = s.formula.valid() ? s.formula : ctl::parse_ctl(s.ctl_text);
+    // Collapsing here (idempotent for parsed text) keys the checker's
+    // structural memo on the exact form the coverage recursion re-checks.
+    formulas.push_back(ctl::collapse_propositional(f));
+  }
+
+  // -- Verify ---------------------------------------------------------------
+  const auto t_verify = Clock::now();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto t_prop = Clock::now();
+    const ctl::CheckResult check = checker_.check(formulas[i]);
+    PropertyResult pr;
+    pr.ctl_text = !specs[i].ctl_text.empty() ? specs[i].ctl_text
+                                             : ctl::to_string(formulas[i]);
+    pr.comment = specs[i].comment;
+    pr.observe = specs[i].observe;
+    pr.holds = check.holds;
+    pr.skipped = !check.holds && !request.skip_failing;
+    if (check.counterexample) {
+      pr.counterexample = make_trace_result(fsm_, *check.counterexample);
+    }
+    pr.check_ms = ms_since(t_prop);
+    if (!pr.holds) ++result.failures;
+    result.properties.push_back(std::move(pr));
+
+    Progress p;
+    p.phase = Progress::Phase::kVerify;
+    p.index = i + 1;
+    p.total = specs.size();
+    p.item = result.properties.back().ctl_text;
+    p.ok = check.holds;
+    if (!progress(p)) {
+      result.cancelled = true;
+      result.verify = snapshot(fsm_.mgr(), ms_since(t_verify));
+      result.total_ms = ms_since(t_run);
+      return result;
+    }
+  }
+  result.verify = snapshot(fsm_.mgr(), ms_since(t_verify));
+
+  // -- Resolve the signal rows ----------------------------------------------
+  std::vector<std::string> names = request.signals;
+  if (names.empty()) {
+    std::set<std::string> seen;
+    for (const PropertySpec& s : specs) {
+      for (const std::string& n : s.observe) seen.insert(n);
+    }
+    names.assign(seen.begin(), seen.end());
+  }
+
+  // -- Estimate -------------------------------------------------------------
+  // The plain-reachability count is bookkeeping, not estimation: keep it
+  // outside the estimate timer so the verification-vs-coverage cost
+  // comparison (Table 2's point) stays faithful.
+  if (!reachable_count_) {
+    reachable_count_ =
+        fsm_.count_states(fsm_.reachable(fsm_.initial_states()));
+  }
+  result.reachable_states = *reachable_count_;
+  const auto t_estimate = Clock::now();
+  result.space_count = fsm_.count_states(estimator_.coverage_space());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& name = names[i];
+    const auto t_row = Clock::now();
+    const std::vector<core::ObservedSignal> group =
+        core::observe_all_bits(m, name);
+
+    std::vector<ctl::Formula> eligible;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      if (result.properties[j].skipped) continue;
+      const std::vector<std::string>& obs = specs[j].observe;
+      if (obs.empty() ||
+          std::find(obs.begin(), obs.end(), name) != obs.end()) {
+        eligible.push_back(formulas[j]);
+      }
+    }
+
+    const core::SignalCoverage sc = estimator_.coverage(eligible, group);
+    SignalRow row;
+    row.name = name;
+    row.num_properties = sc.num_properties;
+    row.covered_count = sc.covered_count;
+    row.percent = sc.percent;
+    row.covered = sc.covered;
+    // Hole reporting is skippable work: don't compute the uncovered set
+    // at all when nothing was asked for (the bench harness sets limit 0
+    // precisely to keep the estimate timing pure).
+    if (request.uncovered_limit > 0) {
+      row.uncovered =
+          estimator_.uncovered_examples(sc.covered, request.uncovered_limit);
+    }
+    if (request.want_traces) {
+      if (const auto trace = estimator_.trace_to_uncovered(sc.covered)) {
+        row.trace = make_trace_result(fsm_, *trace);
+      }
+    }
+    row.estimate_ms = ms_since(t_row);
+    result.signals.push_back(std::move(row));
+
+    Progress p;
+    p.phase = Progress::Phase::kEstimate;
+    p.index = i + 1;
+    p.total = names.size();
+    p.item = name;
+    p.percent = result.signals.back().percent;
+    if (!progress(p)) {
+      result.cancelled = true;
+      result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
+      result.total_ms = ms_since(t_run);
+      return result;
+    }
+  }
+  result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
+
+  Progress done;
+  done.phase = Progress::Phase::kDone;
+  done.index = done.total = names.size();
+  progress(done);  // Cancellation after the last item is a no-op.
+
+  result.total_ms = ms_since(t_run);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+model::Model Engine::load_model(const CoverageRequest& request) {
+  if (request.model) return *request.model;
+  if (!request.model_path.empty()) {
+    return model::parse_model_file(request.model_path);
+  }
+  throw std::runtime_error(
+      "CoverageRequest: set `model` or `model_path` as the model source");
+}
+
+std::unique_ptr<Session> Engine::open(const CoverageRequest& request) const {
+  return std::make_unique<Session>(load_model(request), request.options);
+}
+
+SuiteResult Engine::run(const CoverageRequest& request,
+                        const RunHooks& hooks) const {
+  const auto t0 = Clock::now();
+  auto session =
+      std::make_shared<Session>(load_model(request), request.options);
+  const double elaborate_ms = ms_since(t0);
+
+  if (hooks.on_progress) {
+    Progress p;
+    p.phase = Progress::Phase::kElaborate;
+    p.index = p.total = 1;
+    p.item = session->model().name();
+    if (!hooks.on_progress(p)) {
+      SuiteResult r;
+      r.model_name = session->model().name();
+      r.state_bits = session->model().state_bit_count();
+      r.cancelled = true;
+      r.elaborate.ms = elaborate_ms;
+      r.total_ms = ms_since(t0);
+      return r;
+    }
+  }
+
+  SuiteResult result = session->run(request, hooks);
+  result.elaborate.ms = elaborate_ms;
+  result.total_ms = ms_since(t0);
+  // The covered-set handles in the result must not outlive the session's
+  // BDD manager.
+  result.retain = std::move(session);
+  return result;
+}
+
+}  // namespace covest::engine

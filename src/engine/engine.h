@@ -1,0 +1,261 @@
+// The suite-level engine facade.
+//
+// The paper's workflow (Section 4.1, Table 2) is suite-shaped: verify
+// every SPEC of a model, then report one coverage row per observed
+// signal, with uncovered-state samples and traces to the holes. This
+// header is the one public entry point for that workflow:
+//
+//   engine::CoverageRequest req;
+//   req.model_path = "examples/models/arbiter.cov";
+//   req.want_traces = true;
+//   engine::SuiteResult result = engine::Engine().run(req);
+//
+// A `CoverageRequest` declares the job (model source, property suite,
+// observed signals, limits, policies); the `Engine` owns the whole
+// parse -> elaborate -> verify -> estimate pipeline — BDD manager, FSM,
+// model checker and coverage estimator — and returns a structured
+// `SuiteResult` that the CLI, the Table-2 bench harness and the tests
+// all render through the same serializers (result_json.h /
+// result_text.h).
+//
+// Callers that re-estimate many suites on one model (the Section-5
+// narrative: add properties, re-measure) open a `Session` instead: it
+// keeps the checker's memoized satisfaction sets and the estimator's
+// fix-point caches warm across runs.
+//
+// Progress and cancellation: `RunHooks::on_progress` is invoked after
+// every pipeline step at per-property and per-signal granularity;
+// returning false cancels the run, which finishes with the results
+// computed so far and `SuiteResult::cancelled = true`. The planned
+// multi-threaded sharded manager (ROADMAP) will report through the same
+// hook, so callers written against this API today stay valid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/coverage.h"
+#include "core/observed.h"
+#include "ctl/checker.h"
+#include "ctl/ctl.h"
+#include "fsm/symbolic_fsm.h"
+#include "model/model.h"
+
+namespace covest::engine {
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+/// One property of the suite: CTL text (parsed by the engine) or an
+/// already-built formula, plus the observed signals it targets.
+struct PropertySpec {
+  /// Parsed with ctl::parse_ctl when `formula` is invalid.
+  std::string ctl_text;
+  /// Takes precedence over `ctl_text` when valid.
+  ctl::Formula formula;
+  /// Signals whose rows this property contributes to; empty means every
+  /// requested signal (relevance is still filtered per-atom, so a
+  /// property that never mentions a signal contributes nothing to it).
+  std::vector<std::string> observe;
+  /// Optional label for reports.
+  std::string comment;
+
+  static PropertySpec text(std::string ctl,
+                           std::vector<std::string> observe = {}) {
+    PropertySpec s;
+    s.ctl_text = std::move(ctl);
+    s.observe = std::move(observe);
+    return s;
+  }
+  static PropertySpec of(ctl::Formula f,
+                         std::vector<std::string> observe = {}) {
+    PropertySpec s;
+    s.formula = std::move(f);
+    s.observe = std::move(observe);
+    return s;
+  }
+};
+
+/// Declarative description of one suite job.
+struct CoverageRequest {
+  // -- Model source: exactly one of the two ---------------------------------
+  /// `.cov` file to parse (see model/model_parser.h).
+  std::string model_path;
+  /// In-memory model; takes precedence over `model_path`.
+  std::optional<model::Model> model;
+
+  // -- Suite ----------------------------------------------------------------
+  /// Properties to verify and cover. Empty means the model's own SPEC
+  /// entries (the `.cov` workflow).
+  std::vector<PropertySpec> properties;
+  /// Signals to report rows for (each expands to all of its bits). Empty
+  /// means the union of the suite's OBSERVE clauses, sorted by name.
+  std::vector<std::string> signals;
+
+  // -- Policy ---------------------------------------------------------------
+  core::CoverageOptions options;
+  /// When false (default), properties that fail verification are skipped:
+  /// they contribute nothing to coverage, matching Definition 3's
+  /// precondition M |= f. When true, failing properties stay in the
+  /// suite rows (their covered sets are empty anyway).
+  bool skip_failing = false;
+  /// Uncovered-state samples per signal row.
+  std::size_t uncovered_limit = 4;
+  /// Compute a shortest input trace to an uncovered state per signal row.
+  bool want_traces = false;
+};
+
+// ---------------------------------------------------------------------------
+// Result
+// ---------------------------------------------------------------------------
+
+/// A rendered witness trace (counterexample or path to a coverage hole):
+/// per step, the signal values in declaration order.
+struct TraceResult {
+  using Step = std::vector<std::pair<std::string, std::uint64_t>>;
+  std::vector<Step> steps;
+  /// Human-readable multi-line form ("step k: sig=val ...").
+  std::string text;
+};
+
+/// Verification outcome of one suite property.
+struct PropertyResult {
+  std::string ctl_text;  ///< Canonical rendering of the checked formula.
+  std::string comment;
+  std::vector<std::string> observe;
+  bool holds = false;
+  /// Failed and `skip_failing` was off: excluded from coverage.
+  bool skipped = false;
+  std::optional<TraceResult> counterexample;
+  double check_ms = 0.0;
+};
+
+/// One Table-2 row: coverage of one observed signal (word signals union
+/// their bits) over the verified suite.
+struct SignalRow {
+  std::string name;
+  std::size_t num_properties = 0;  ///< Suite properties mentioning the signal.
+  double covered_count = 0.0;      ///< |covered ∩ coverage space|.
+  double percent = 0.0;            ///< Definition 4.
+  std::vector<std::string> uncovered;  ///< Sampled holes ("sig=val ...").
+  std::optional<TraceResult> trace;    ///< Shortest path to a hole.
+  double estimate_ms = 0.0;
+  /// Live BDD handle of the covered set, for library callers that keep
+  /// composing (valid while the Session/Engine's manager is alive).
+  bdd::Bdd covered;
+};
+
+/// BDD-manager snapshot at the end of a pipeline phase.
+struct PhaseStats {
+  double ms = 0.0;
+  std::size_t live_nodes = 0;
+  std::size_t peak_live_nodes = 0;
+  double cache_hit_rate = 0.0;  ///< Computed-cache hit rate, cumulative.
+};
+
+/// Structured outcome of a whole suite run.
+struct SuiteResult {
+  /// One-shot `Engine::run` parks its Session here so the `covered` BDD
+  /// handles in `signals` outlive the call. Declared first: members are
+  /// destroyed in reverse declaration order, and the handles below must
+  /// die before their manager. `Session::run` results instead stay valid
+  /// for the session's lifetime.
+  std::shared_ptr<void> retain;
+
+  std::string model_name;
+  unsigned state_bits = 0;
+  double reachable_states = 0.0;
+  double space_count = 0.0;  ///< |coverage space|.
+
+  std::vector<PropertyResult> properties;
+  std::vector<SignalRow> signals;
+
+  std::size_t failures = 0;  ///< Properties that failed verification.
+  bool cancelled = false;    ///< A progress hook aborted the run.
+
+  PhaseStats elaborate;  ///< Parse + FSM elaboration.
+  PhaseStats verify;     ///< Model checking of the suite.
+  PhaseStats estimate;   ///< Coverage estimation + hole reporting.
+  double total_ms = 0.0;
+
+  bool all_passed() const { return failures == 0; }
+};
+
+// ---------------------------------------------------------------------------
+// Progress and cancellation
+// ---------------------------------------------------------------------------
+
+/// One progress tick. Phases advance monotonically; within kVerify and
+/// kEstimate, `index`/`total` count properties and signal rows.
+struct Progress {
+  enum class Phase { kElaborate, kVerify, kEstimate, kDone };
+  Phase phase = Phase::kElaborate;
+  std::size_t index = 0;  ///< Completed items in this phase (1-based).
+  std::size_t total = 0;  ///< Items in this phase.
+  std::string item;       ///< Property text or signal name just finished.
+  bool ok = true;         ///< kVerify: did the property hold?
+  double percent = 0.0;   ///< kEstimate: the row's coverage percentage.
+};
+
+/// Return false to cancel: the run stops after the current item and
+/// returns the partial SuiteResult with `cancelled` set.
+using ProgressFn = std::function<bool(const Progress&)>;
+
+struct RunHooks {
+  ProgressFn on_progress;
+};
+
+// ---------------------------------------------------------------------------
+// Session and Engine
+// ---------------------------------------------------------------------------
+
+/// An elaborated model with its checker/estimator state. One session =
+/// one BDD manager; repeated `run` calls share memoized satisfaction
+/// sets and fix-point caches (the reuse the paper recommends in
+/// Section 3).
+class Session {
+ public:
+  explicit Session(const model::Model& model,
+                   core::CoverageOptions options = {});
+
+  const model::Model& model() const { return fsm_.model(); }
+  const fsm::SymbolicFsm& fsm() const { return fsm_; }
+  ctl::ModelChecker& checker() { return checker_; }
+  core::CoverageEstimator& estimator() { return estimator_; }
+
+  /// Runs the suite part of `request` against this session's model (the
+  /// request's model source is ignored).
+  SuiteResult run(const CoverageRequest& request, const RunHooks& hooks = {});
+
+ private:
+  fsm::SymbolicFsm fsm_;
+  ctl::ModelChecker checker_;
+  core::CoverageEstimator estimator_;
+  /// |reachable(init)| is suite-invariant; computed on the first run.
+  std::optional<double> reachable_count_;
+};
+
+/// The facade: resolves the request's model source and executes the
+/// pipeline. Stateless — each `run` elaborates a fresh session; use
+/// `open` to keep the session (and its caches) for follow-up suites.
+class Engine {
+ public:
+  /// Parses/copies the request's model (no elaboration).
+  static model::Model load_model(const CoverageRequest& request);
+
+  /// Elaborates the request's model into a reusable session.
+  std::unique_ptr<Session> open(const CoverageRequest& request) const;
+
+  /// One-shot: load, elaborate, verify, estimate, report.
+  SuiteResult run(const CoverageRequest& request,
+                  const RunHooks& hooks = {}) const;
+};
+
+}  // namespace covest::engine

@@ -1,0 +1,443 @@
+#include "engine/result_json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace covest::engine {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Streaming writer producing deterministic, optionally pretty output.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty) : pretty_(pretty) {}
+
+  std::string str() const { return os_.str(); }
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Starts a member inside an object; follow with a value call.
+  void key(const std::string& name) {
+    separate();
+    raw_string(name);
+    os_ << (pretty_ ? ": " : ":");
+    just_keyed_ = true;
+  }
+
+  void string(const std::string& s) {
+    value_separator();
+    raw_string(s);
+  }
+  void boolean(bool v) {
+    value_separator();
+    os_ << (v ? "true" : "false");
+  }
+
+  void number(double v) {
+    value_separator();
+    if (!std::isfinite(v)) {  // JSON has no Inf/NaN.
+      os_ << "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    os_ << buf;
+  }
+
+  void number(std::uint64_t v) {
+    value_separator();
+    os_ << v;
+  }
+
+ private:
+  void raw_string(const std::string& s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  void open(char c) {
+    value_separator();
+    os_ << c;
+    depth_++;
+    first_.push_back(true);
+  }
+
+  void close(char c) {
+    depth_--;
+    const bool empty = first_.back();
+    first_.pop_back();
+    if (pretty_ && !empty) newline();
+    os_ << c;
+  }
+
+  /// Comma/newline before an array element or object key.
+  void separate() {
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ',';
+      first_.back() = false;
+    }
+    if (pretty_) newline();
+  }
+
+  /// Array elements separate themselves; values after `key` must not.
+  void value_separator() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (!first_.empty()) separate();
+  }
+
+  void newline() {
+    os_ << '\n';
+    for (int i = 0; i < depth_; ++i) os_ << "  ";
+  }
+
+  std::ostringstream os_;
+  bool pretty_;
+  bool just_keyed_ = false;
+  int depth_ = 0;
+  std::vector<bool> first_;
+};
+
+void write_trace(JsonWriter& w, const TraceResult& trace) {
+  w.begin_object();
+  w.key("steps");
+  w.begin_array();
+  for (const TraceResult::Step& step : trace.steps) {
+    w.begin_object();
+    for (const auto& [name, value] : step) {
+      w.key(name);
+      w.number(static_cast<std::uint64_t>(value));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_phase(JsonWriter& w, const PhaseStats& phase) {
+  w.begin_object();
+  w.key("ms");
+  w.number(phase.ms);
+  w.key("live_nodes");
+  w.number(static_cast<std::uint64_t>(phase.live_nodes));
+  w.key("peak_live_nodes");
+  w.number(static_cast<std::uint64_t>(phase.peak_live_nodes));
+  w.key("cache_hit_rate");
+  w.number(phase.cache_hit_rate);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const SuiteResult& r, const JsonOptions& options) {
+  JsonWriter w(options.pretty);
+  w.begin_object();
+
+  w.key("model");
+  w.begin_object();
+  w.key("name");
+  w.string(r.model_name);
+  w.key("state_bits");
+  w.number(static_cast<std::uint64_t>(r.state_bits));
+  w.key("reachable_states");
+  w.number(r.reachable_states);
+  w.key("coverage_space_states");
+  w.number(r.space_count);
+  w.end_object();
+
+  w.key("summary");
+  w.begin_object();
+  w.key("properties");
+  w.number(static_cast<std::uint64_t>(r.properties.size()));
+  w.key("failures");
+  w.number(static_cast<std::uint64_t>(r.failures));
+  w.key("signals");
+  w.number(static_cast<std::uint64_t>(r.signals.size()));
+  w.key("all_passed");
+  w.boolean(r.all_passed());
+  w.key("cancelled");
+  w.boolean(r.cancelled);
+  w.end_object();
+
+  w.key("properties");
+  w.begin_array();
+  for (const PropertyResult& p : r.properties) {
+    w.begin_object();
+    w.key("ctl");
+    w.string(p.ctl_text);
+    if (!p.comment.empty()) {
+      w.key("comment");
+      w.string(p.comment);
+    }
+    w.key("observe");
+    w.begin_array();
+    for (const std::string& s : p.observe) w.string(s);
+    w.end_array();
+    w.key("holds");
+    w.boolean(p.holds);
+    w.key("skipped");
+    w.boolean(p.skipped);
+    if (p.counterexample) {
+      w.key("counterexample");
+      write_trace(w, *p.counterexample);
+    }
+    if (options.include_stats) {
+      w.key("check_ms");
+      w.number(p.check_ms);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("signals");
+  w.begin_array();
+  for (const SignalRow& s : r.signals) {
+    w.begin_object();
+    w.key("name");
+    w.string(s.name);
+    w.key("properties");
+    w.number(static_cast<std::uint64_t>(s.num_properties));
+    w.key("covered_states");
+    w.number(s.covered_count);
+    w.key("percent");
+    w.number(s.percent);
+    w.key("uncovered");
+    w.begin_array();
+    for (const std::string& u : s.uncovered) w.string(u);
+    w.end_array();
+    if (s.trace) {
+      w.key("trace");
+      write_trace(w, *s.trace);
+    }
+    if (options.include_stats) {
+      w.key("estimate_ms");
+      w.number(s.estimate_ms);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  if (options.include_stats) {
+    w.key("stats");
+    w.begin_object();
+    w.key("elaborate");
+    write_phase(w, r.elaborate);
+    w.key("verify");
+    write_phase(w, r.verify);
+    w.key("estimate");
+    write_phase(w, r.estimate);
+    w.key("total_ms");
+    w.number(r.total_ms);
+    w.end_object();
+  }
+
+  w.end_object();
+  std::string out = w.str();
+  out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Validating parser (RFC 8259 grammar, values discarded)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool run(std::string* error) {
+    try {
+      skip_ws();
+      parse_value();
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing content after JSON value");
+      return true;
+    } catch (const std::runtime_error& e) {
+      if (error != nullptr) *error = e.what();
+      return false;
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + " at byte " + std::to_string(pos_));
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void parse_value() {
+    switch (peek()) {
+      case '{': parse_object(); return;
+      case '[': parse_array(); return;
+      case '"': parse_string(); return;
+      case 't': parse_literal("true"); return;
+      case 'f': parse_literal("false"); return;
+      case 'n': parse_literal("null"); return;
+      default: parse_number(); return;
+    }
+  }
+
+  void parse_object() {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') return;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  void parse_array() {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == ']') return;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  void parse_string() {
+    expect('"');
+    while (true) {
+      const char c = next();
+      if (c == '"') return;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            break;
+          case 'u':
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(next()))) {
+                fail("bad \\u escape");
+              }
+            }
+            break;
+          default:
+            fail("bad escape character");
+        }
+      }
+    }
+  }
+
+  void parse_literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (next() != *p) fail(std::string("bad literal, expected ") + word);
+    }
+  }
+
+  void parse_number() {
+    if (peek() == '-') ++pos_;
+    if (!digit()) fail("expected digit");
+    if (text_[pos_ - 1] != '0') {
+      while (digit()) {}
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit()) fail("expected digit after '.'");
+      while (digit()) {}
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) fail("expected exponent digit");
+      while (digit()) {}
+    }
+  }
+
+  bool digit() {
+    if (pos_ < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool validate_json(const std::string& text, std::string* error) {
+  return JsonValidator(text).run(error);
+}
+
+}  // namespace covest::engine

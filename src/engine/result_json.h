@@ -1,0 +1,33 @@
+// JSON serialization of `SuiteResult` — the machine-readable output of
+// the engine facade (`coverage_tool --json`, the bench harness, CI
+// smoke checks and the golden-file tests all consume this one layer).
+//
+// The writer is self-contained (no third-party JSON dependency) and
+// emits a stable field order, so serialized results diff cleanly. A
+// minimal validating parser is included for round-trip checks.
+#pragma once
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace covest::engine {
+
+struct JsonOptions {
+  /// Two-space indentation; compact single-line output when false.
+  bool pretty = true;
+  /// Include timing and BDD-manager statistics. Golden-file tests turn
+  /// this off: everything else in a SuiteResult is deterministic.
+  bool include_stats = true;
+};
+
+/// Serializes a suite result. Field order is fixed:
+/// model / summary / properties / signals [/ stats].
+std::string to_json(const SuiteResult& result, const JsonOptions& options = {});
+
+/// Validates that `text` is one well-formed JSON value (RFC 8259
+/// grammar; no extensions). Returns true on success; otherwise fills
+/// `error` (when non-null) with a message carrying the byte offset.
+bool validate_json(const std::string& text, std::string* error = nullptr);
+
+}  // namespace covest::engine

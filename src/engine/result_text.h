@@ -1,0 +1,23 @@
+// Human-readable rendering of `SuiteResult` — the classic coverage_tool
+// report (PASS/FAIL lines, the per-signal coverage table, uncovered
+// samples and hole traces), produced from the same structured result the
+// JSON serializer consumes.
+#pragma once
+
+#include <string>
+
+#include "engine/engine.h"
+
+namespace covest::engine {
+
+struct TextOptions {
+  /// Mention --skip-failing in the failure footer (CLI sets this; API
+  /// callers usually don't want CLI flag hints in their output).
+  bool cli_hints = false;
+};
+
+/// Renders the full suite report as a multi-line string.
+std::string render_text(const SuiteResult& result,
+                        const TextOptions& options = {});
+
+}  // namespace covest::engine

@@ -277,6 +277,61 @@ std::vector<std::string> referenced_signals(const Expr& e) {
   return out;
 }
 
+std::size_t structural_hash(const Expr& e) {
+  if (!e.valid()) return 0;
+  const ExprNode& n = e.node();
+  // splitmix64-style mixing keeps sibling order and op significant.
+  std::uint64_t h = static_cast<std::uint64_t>(n.op) + 0x9e3779b97f4a7c15ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  switch (n.op) {
+    case Op::kConst:
+      mix(n.value);
+      mix(n.const_width);
+      mix(n.const_is_bool ? 1 : 0);
+      break;
+    case Op::kVarRef:
+      mix(std::hash<std::string>{}(n.name));
+      break;
+    case Op::kExtract:
+      mix(n.value);
+      break;
+    default:
+      break;
+  }
+  for (const Expr& a : n.args) mix(structural_hash(a));
+  return static_cast<std::size_t>(h);
+}
+
+bool structural_equal(const Expr& a, const Expr& b) {
+  if (a.same_node(b)) return true;
+  if (!a.valid() || !b.valid()) return false;
+  const ExprNode& na = a.node();
+  const ExprNode& nb = b.node();
+  if (na.op != nb.op || na.args.size() != nb.args.size()) return false;
+  switch (na.op) {
+    case Op::kConst:
+      if (na.value != nb.value || na.const_width != nb.const_width ||
+          na.const_is_bool != nb.const_is_bool) {
+        return false;
+      }
+      break;
+    case Op::kVarRef:
+      if (na.name != nb.name) return false;
+      break;
+    case Op::kExtract:
+      if (na.value != nb.value) return false;
+      break;
+    default:
+      break;
+  }
+  for (std::size_t i = 0; i < na.args.size(); ++i) {
+    if (!structural_equal(na.args[i], nb.args[i])) return false;
+  }
+  return true;
+}
+
 Expr substitute_signal(const Expr& e, const std::string& signal,
                        const Expr& replacement) {
   const ExprNode& n = e.node();

@@ -135,6 +135,14 @@ std::uint64_t eval(const Expr& e, const ValueResolver& values,
 /// All distinct signal names referenced by `e`, in first-use order.
 std::vector<std::string> referenced_signals(const Expr& e);
 
+/// Structural hash: equal for structurally identical expressions even when
+/// the shared AST nodes differ (e.g. the same atom parsed twice).
+std::size_t structural_hash(const Expr& e);
+
+/// Structural equality over op/name/constant/bit-index/operands. Invalid
+/// handles compare equal to each other only.
+bool structural_equal(const Expr& a, const Expr& b);
+
 /// Rewrites every reference to `signal` with `replacement`.
 /// This implements the paper's observability flip: for a boolean observed
 /// signal q the replacement is `!q`; for bit j of a word signal w it is

@@ -201,6 +201,27 @@ TEST_F(CheckerTest, MemoizationReusesSubformulas) {
   EXPECT_EQ(mc.memo_size(), size_after_first);
 }
 
+TEST_F(CheckerTest, MemoIsKeyedStructurallyAcrossSeparateParses) {
+  // The memo is keyed by structural hash, not AST node address: parsing
+  // the same text twice (distinct shared-AST nodes) must hit the memo,
+  // so identical SPEC sub-formulas share satisfaction sets across a
+  // suite.
+  const Formula a = parse_ctl("AG (count < 5 -> AX (count < 6))");
+  const Formula b = parse_ctl("AG (count < 5 -> AX (count < 6))");
+  ASSERT_NE(a.id(), b.id());
+  EXPECT_TRUE(structural_equal(a, b));
+  EXPECT_EQ(structural_hash(a), structural_hash(b));
+
+  const bdd::Bdd sat_a = mc.sat(a);
+  const std::size_t size_after_first = mc.memo_size();
+  EXPECT_EQ(mc.sat(b), sat_a);
+  EXPECT_EQ(mc.memo_size(), size_after_first);
+
+  // A structurally different formula is a new entry.
+  mc.sat(parse_ctl("AG (count < 4 -> AX (count < 6))"));
+  EXPECT_GT(mc.memo_size(), size_after_first);
+}
+
 TEST(CheckerFairnessTest, FairnessTurnsLivenessTrue) {
   // With FAIRNESS !stall, the pipeline-style argument applies to the
   // counter: AF(count==4) becomes true because eternal stalling is

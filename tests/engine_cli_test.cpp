@@ -1,0 +1,100 @@
+// Integration tests for the coverage_tool CLI: spawns the real binary
+// against the example models and checks exit codes, the hardened
+// argument parsing, and that --json output parses.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "engine/result_json.h"
+
+namespace covest {
+namespace {
+
+#if defined(COVEST_COVERAGE_TOOL_PATH) && defined(COVEST_SOURCE_DIR)
+
+struct RunOutcome {
+  int exit_code = -1;
+  std::string output;  ///< stdout + stderr, interleaved.
+};
+
+RunOutcome run_tool(const std::string& args) {
+  const std::string cmd =
+      std::string(COVEST_COVERAGE_TOOL_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  RunOutcome outcome;
+  if (pipe == nullptr) return outcome;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    outcome.output.append(buf.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  outcome.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return outcome;
+}
+
+std::string model_path(const char* name) {
+  return std::string(COVEST_SOURCE_DIR) + "/examples/models/" + name;
+}
+
+TEST(CoverageToolCliTest, JsonOutputParses) {
+  for (const char* model : {"counter.cov", "arbiter.cov"}) {
+    const RunOutcome r = run_tool(model_path(model) + " --json --trace");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    std::string err;
+    EXPECT_TRUE(engine::validate_json(r.output, &err))
+        << model << ": " << err << "\n" << r.output;
+    EXPECT_NE(r.output.find("\"coverage_space_states\""), std::string::npos);
+    EXPECT_NE(r.output.find("\"signals\""), std::string::npos);
+  }
+}
+
+TEST(CoverageToolCliTest, TextReportShowsTheTable) {
+  const RunOutcome r = run_tool(model_path("counter.cov"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("[PASS]"), std::string::npos);
+  EXPECT_NE(r.output.find("coverage space:"), std::string::npos);
+  EXPECT_NE(r.output.find("count"), std::string::npos);
+}
+
+TEST(CoverageToolCliTest, RejectsBadUncoveredValues) {
+  for (const char* bad : {"12x", "-3", "", "0x10", "nonsense",
+                          "99999999999999999999999"}) {
+    const RunOutcome r =
+        run_tool(model_path("counter.cov") + " --uncovered '" + bad + "'");
+    EXPECT_EQ(r.exit_code, 2) << "accepted --uncovered " << bad;
+    EXPECT_NE(r.output.find("--uncovered needs a non-negative integer"),
+              std::string::npos)
+        << r.output;
+  }
+  // A missing value is rejected too.
+  const RunOutcome r = run_tool(model_path("counter.cov") + " --uncovered");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(CoverageToolCliTest, RejectsUnknownOptionsAndExtraModels) {
+  EXPECT_EQ(run_tool(model_path("counter.cov") + " --bogus").exit_code, 2);
+  EXPECT_EQ(run_tool(model_path("counter.cov") + " " +
+                     model_path("arbiter.cov")).exit_code, 2);
+  // Bare invocation is a usage error too, not success.
+  EXPECT_EQ(run_tool("").exit_code, 2);
+}
+
+TEST(CoverageToolCliTest, MissingFileReportsError) {
+  const RunOutcome r = run_tool("/nonexistent/model.cov");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+#else
+
+TEST(CoverageToolCliTest, DISABLED_NeedsExampleBinary) {}
+
+#endif
+
+}  // namespace
+}  // namespace covest
