@@ -1,0 +1,177 @@
+// Suite-throughput benchmark for the engine layer: how many coverage
+// suites per second the `engine::Executor` sustains at different worker
+// counts. `bench/run_bench.sh` runs it over the example-model manifest
+// and writes BENCH_engine.json so the engine layer has a perf
+// trajectory PR over PR (the BDD layer has had one since PR 1).
+//
+//   engine_throughput [--repeat N] [--jobs 1,2,4] [--out FILE] model.cov...
+//
+// Each configuration runs `N` copies of every model's default suite
+// through one executor and measures wall time; the suites are
+// independent jobs with worker-local BDD managers, so the jobs=K
+// configurations measure the real fan-out path, not a simulation.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/executor.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace covest;
+using util::parse_count;
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::size_t repeat = 8;
+  std::vector<std::size_t> jobs = {1, 2, 4};
+  std::string out_path;
+  std::vector<std::string> models;
+};
+
+bool parse_jobs_list(const char* text, std::vector<std::size_t>* out) {
+  out->clear();
+  std::string item;
+  for (const char* p = text;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      std::size_t n = 0;
+      if (!parse_count(item.c_str(), &n) || n == 0) return false;
+      out->push_back(n);
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  return !out->empty();
+}
+
+struct Measurement {
+  std::size_t jobs = 0;
+  std::size_t suites = 0;
+  double wall_ms = 0.0;
+  double suites_per_sec = 0.0;
+};
+
+Measurement measure(const Config& config, std::size_t workers) {
+  std::vector<engine::CoverageRequest> requests;
+  requests.reserve(config.models.size() * config.repeat);
+  for (std::size_t r = 0; r < config.repeat; ++r) {
+    for (const std::string& path : config.models) {
+      engine::CoverageRequest req;
+      req.model_path = path;
+      req.uncovered_limit = 0;  // Keep the measurement estimation-pure.
+      requests.push_back(std::move(req));
+    }
+  }
+
+  engine::Executor executor{engine::ExecutorOptions{workers, nullptr}};
+  const auto t0 = Clock::now();
+  const std::vector<engine::SuiteResult> results =
+      executor.run_all(std::move(requests));
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  for (const engine::SuiteResult& r : results) {
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "error: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+  }
+
+  Measurement m;
+  m.jobs = workers;
+  m.suites = results.size();
+  m.wall_ms = wall_ms;
+  m.suites_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(results.size()) * 1000.0 / wall_ms
+                    : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--repeat") == 0) {
+      if (i + 1 >= argc || !parse_count(argv[++i], &config.repeat) ||
+          config.repeat == 0) {
+        std::fprintf(stderr, "error: --repeat needs a positive integer\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc || !parse_jobs_list(argv[++i], &config.jobs)) {
+        std::fprintf(stderr, "error: --jobs needs e.g. 1,2,4\n");
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --out needs a path\n");
+        return 2;
+      }
+      config.out_path = argv[++i];
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg);
+      return 2;
+    } else {
+      config.models.push_back(arg);
+    }
+  }
+  if (config.models.empty()) {
+    std::fprintf(stderr,
+                 "usage: engine_throughput [--repeat N] [--jobs 1,2,4] "
+                 "[--out FILE] model.cov...\n");
+    return 2;
+  }
+
+  std::vector<Measurement> measurements;
+  for (const std::size_t workers : config.jobs) {
+    const Measurement m = measure(config, workers);
+    std::printf("jobs=%zu: %zu suites in %.1f ms  (%.1f suites/sec)\n",
+                m.jobs, m.suites, m.wall_ms, m.suites_per_sec);
+    measurements.push_back(m);
+  }
+
+  double speedup = 0.0;
+  if (measurements.size() >= 2 && measurements.front().jobs == 1 &&
+      measurements.front().suites_per_sec > 0.0) {
+    speedup = measurements.back().suites_per_sec /
+              measurements.front().suites_per_sec;
+    std::printf("speedup jobs=%zu vs jobs=1: %.2fx (%u hardware threads)\n",
+                measurements.back().jobs, speedup,
+                std::thread::hardware_concurrency());
+  }
+
+  if (!config.out_path.empty()) {
+    std::FILE* out = std::fopen(config.out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   config.out_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < measurements.size(); ++i) {
+      const Measurement& m = measurements[i];
+      std::fprintf(out,
+                   "    {\"name\": \"suite_throughput/jobs:%zu\", "
+                   "\"suites\": %zu, \"wall_ms\": %.3f, "
+                   "\"suites_per_sec\": %.3f}%s\n",
+                   m.jobs, m.suites, m.wall_ms, m.suites_per_sec,
+                   i + 1 < measurements.size() ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(out, "  \"speedup_max_jobs_vs_1\": %.3f\n}\n", speedup);
+    std::fclose(out);
+    std::printf("wrote %s\n", config.out_path.c_str());
+  }
+  return 0;
+}

@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Runs the BDD microbenchmark suite and writes BENCH_bdd.json (google-
-# benchmark JSON: cpu_time in ns per op, plus peak_live_nodes /
-# cache_hit_rate counters) so the perf trajectory is tracked PR over PR.
+# Runs the benchmark suites and writes the per-layer perf trajectories:
+#   BENCH_bdd.json    — BDD microbenchmarks (google-benchmark JSON:
+#                       cpu_time in ns per op, plus peak_live_nodes /
+#                       cache_hit_rate counters)
+#   BENCH_engine.json — engine-layer suite throughput (suites/sec over
+#                       the example-model manifest at --jobs 1, 2, 4,
+#                       via bench/engine_throughput and the executor)
 #
 # Usage: bench/run_bench.sh [build_dir] [output_json]
 set -euo pipefail
@@ -9,12 +13,14 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 OUT_JSON="${2:-${REPO_ROOT}/BENCH_bdd.json}"
+ENGINE_OUT_JSON="${ENGINE_OUT_JSON:-${REPO_ROOT}/BENCH_engine.json}"
 MIN_TIME="${BENCH_MIN_TIME:-0.15}"
+ENGINE_REPEAT="${ENGINE_BENCH_REPEAT:-16}"
 
-if [[ ! -x "${BUILD_DIR}/bdd_microbench" ]]; then
-  echo "bdd_microbench not found; building in ${BUILD_DIR}" >&2
+if [[ ! -x "${BUILD_DIR}/bdd_microbench" || ! -x "${BUILD_DIR}/engine_throughput" ]]; then
+  echo "benchmark drivers not found; building in ${BUILD_DIR}" >&2
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" >/dev/null
-  cmake --build "${BUILD_DIR}" --target bdd_microbench -j >/dev/null
+  cmake --build "${BUILD_DIR}" --target bdd_microbench engine_throughput -j >/dev/null
 fi
 
 "${BUILD_DIR}/bdd_microbench" \
@@ -25,6 +31,15 @@ fi
   >/dev/null
 
 echo "wrote ${OUT_JSON}"
+
+# Engine-layer suite throughput: every example model's default suite,
+# repeated, fanned out through the executor at 1/2/4 workers.
+"${BUILD_DIR}/engine_throughput" \
+  --repeat "${ENGINE_REPEAT}" \
+  --jobs 1,2,4 \
+  --out "${ENGINE_OUT_JSON}" \
+  "${REPO_ROOT}"/examples/models/*.cov
+
 # Human-readable summary: op/ns and node counters per benchmark.
 python3 - "${OUT_JSON}" <<'EOF'
 import json, sys

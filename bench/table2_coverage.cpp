@@ -6,9 +6,12 @@
 // Every measurement runs through the engine facade: a row is one
 // `CoverageRequest` (in-memory model + property suite + one observed
 // signal), and the verification/coverage columns come from the
-// `SuiteResult`'s per-phase stats. The narrative phases reuse one
-// `Session` per circuit so added properties re-verify incrementally —
-// the suite-shaped workflow the facade exists for.
+// `SuiteResult`'s per-phase stats. The table rows fan out through the
+// multi-worker `engine::Executor` (each row gets its own worker-local
+// BDD manager; results come back in request order), while the narrative
+// phases reuse one `Session` per circuit so added properties re-verify
+// incrementally — the two suite-shaped workflows the engine layer
+// exists for.
 //
 // Absolute numbers differ from the paper (our circuits are synthetic
 // equivalents and the machine is not an HP9000); the shape to compare:
@@ -20,6 +23,7 @@
 
 #include "circuits/circuits.h"
 #include "engine/engine.h"
+#include "engine/executor.h"
 
 namespace {
 
@@ -50,24 +54,58 @@ engine::CoverageRequest make_request(const std::vector<ctl::Formula>& props,
   return req;
 }
 
-/// Runs verification then coverage for one signal group and fills a row.
-Row run_row(const std::string& circuit, const std::string& signal,
-            const model::Model& m, const std::vector<ctl::Formula>& props) {
+/// A pending table row: the labels plus the request the executor runs.
+struct RowJob {
+  std::string circuit;
+  std::string signal;
+  engine::CoverageRequest request;
+};
+
+/// Fans every row request out through the executor (one worker-local
+/// session per row) and fills the rows in request order.
+std::vector<Row> run_rows(std::vector<RowJob> jobs) {
+  std::vector<engine::CoverageRequest> requests;
+  requests.reserve(jobs.size());
+  for (RowJob& j : jobs) requests.push_back(std::move(j.request));
+
+  engine::Executor executor{engine::ExecutorOptions{4, nullptr}};
+  std::vector<engine::SuiteResult> results =
+      executor.run_all(std::move(requests));
+
+  std::vector<Row> rows;
+  rows.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const engine::SuiteResult& r = results[i];
+    if (!r.error.empty()) {
+      std::printf("  WARNING: %s/%s failed: %s\n", jobs[i].circuit.c_str(),
+                  jobs[i].signal.c_str(), r.error.c_str());
+      rows.push_back(Row{jobs[i].circuit, jobs[i].signal, 0, 0.0, 0, 0.0,
+                         0, 0.0});
+      continue;
+    }
+    if (r.failures > 0) {
+      std::printf("  WARNING: %zu/%zu properties failed verification\n",
+                  r.failures, r.properties.size());
+    }
+    rows.push_back(Row{jobs[i].circuit,
+                       jobs[i].signal,
+                       r.properties.size(),
+                       r.signals.front().percent,
+                       r.verify.live_nodes,
+                       r.verify.ms,
+                       r.estimate.live_nodes,
+                       r.estimate.ms});
+  }
+  return rows;
+}
+
+/// One pending row for `run_rows`.
+RowJob row_job(const std::string& circuit, const std::string& signal,
+               const model::Model& m,
+               const std::vector<ctl::Formula>& props) {
   engine::CoverageRequest req = make_request(props, signal);
   req.model = m;
-  const engine::SuiteResult r = engine::Engine().run(req);
-  if (r.failures > 0) {
-    std::printf("  WARNING: %zu/%zu properties failed verification\n",
-                r.failures, r.properties.size());
-  }
-  return Row{circuit,
-             signal,
-             r.properties.size(),
-             r.signals.front().percent,
-             r.verify.live_nodes,
-             r.verify.ms,
-             r.estimate.live_nodes,
-             r.estimate.ms};
+  return RowJob{circuit, signal, std::move(req)};
 }
 
 void print_table(const std::vector<Row>& rows) {
@@ -99,34 +137,34 @@ double phase_percent(engine::Session& session,
 int main() {
   std::printf("=== Table 2: coverage results "
               "(paper values in brackets) ===\n\n");
-  std::vector<Row> rows;
+  std::vector<RowJob> jobs;
 
   // Circuit 1: priority buffer (with the not-yet-found bug, as measured
   // in the paper).
   const circuits::PriorityBufferSpec buf{8, true};
   const model::Model buffer = circuits::make_priority_buffer(buf);
-  rows.push_back(run_row("Circuit 1 (prio buffer)", "hi", buffer,
+  jobs.push_back(row_job("Circuit 1 (prio buffer)", "hi", buffer,
                          circuits::buffer_hi_properties(buf)));
-  rows.push_back(run_row("Circuit 1 (prio buffer)", "lo", buffer,
+  jobs.push_back(row_job("Circuit 1 (prio buffer)", "lo", buffer,
                          circuits::buffer_lo_properties_initial(buf)));
 
   // Circuit 2: circular queue.
   const circuits::CircularQueueSpec q{3};
   const model::Model queue = circuits::make_circular_queue(q);
-  rows.push_back(run_row("Circuit 2 (circ queue)", "wrap", queue,
+  jobs.push_back(row_job("Circuit 2 (circ queue)", "wrap", queue,
                          circuits::queue_wrap_properties_initial(q)));
-  rows.push_back(run_row("Circuit 2 (circ queue)", "full", queue,
+  jobs.push_back(row_job("Circuit 2 (circ queue)", "full", queue,
                          circuits::queue_full_properties(q)));
-  rows.push_back(run_row("Circuit 2 (circ queue)", "empty", queue,
+  jobs.push_back(row_job("Circuit 2 (circ queue)", "empty", queue,
                          circuits::queue_empty_properties(q)));
 
   // Circuit 3: decode pipeline.
   const circuits::PipelineSpec p{3, 3};
   const model::Model pipe = circuits::make_pipeline(p);
-  rows.push_back(run_row("Circuit 3 (pipeline)", "out", pipe,
+  jobs.push_back(row_job("Circuit 3 (pipeline)", "out", pipe,
                          circuits::pipeline_properties_initial(p)));
 
-  print_table(rows);
+  print_table(run_rows(std::move(jobs)));
   std::printf("\npaper Table 2: hi-pri 100.00%% | lo-pri 99.98%% | "
               "wrap 60.08%% | full 100.00%% | empty 100.00%% | "
               "output 74.36%%\n");

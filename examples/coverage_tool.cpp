@@ -8,16 +8,14 @@
 //   coverage_tool examples/models/counter.cov
 //   coverage_tool examples/models/arbiter.cov --uncovered 8 --trace
 //   coverage_tool examples/models/arbiter.cov --json
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "engine/engine.h"
 #include "engine/result_json.h"
 #include "engine/result_text.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -35,21 +33,7 @@ void usage(std::FILE* to) {
       "  SPEC AG (full -> AX !grant) OBSERVE full;\n");
 }
 
-/// Strict non-negative integer parse: rejects empty strings, trailing
-/// garbage, signs and out-of-range values instead of best-effort
-/// truncation.
-bool parse_count(const char* text, std::size_t* out) {
-  if (text == nullptr || *text == '\0' || !std::isdigit(
-          static_cast<unsigned char>(*text))) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text, &end, 10);
-  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
-  *out = static_cast<std::size_t>(v);
-  return true;
-}
+using covest::util::parse_count;
 
 }  // namespace
 

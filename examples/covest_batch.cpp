@@ -1,0 +1,236 @@
+// covest_batch — the batch coverage driver (NDJSON in, NDJSON out).
+//
+// Reads suite jobs from a manifest file or from stdin, fans them out
+// across an `engine::Executor` worker pool, and prints one compact JSON
+// `SuiteResult` per input line, in input order:
+//
+//   covest_batch --jobs 4 manifest.txt
+//   printf '%s\n' '{"model_path": "examples/models/counter.cov"}' \
+//     | covest_batch --jobs 2
+//
+// Manifest format: one job per line. A line starting with `{` is a full
+// JSON `CoverageRequest` (request_json.h schema); anything else is a
+// `.cov` model path (resolved relative to the manifest's directory),
+// which becomes a default request for that model. Blank lines and
+// `#`/`--` comment lines are skipped. Without a manifest argument,
+// stdin is read as NDJSON requests — the same schema, one per line.
+//
+// Per-job defects (missing model, parse errors, unknown signals) never
+// abort the batch: the failing job's output line carries
+// `summary.error` and the driver exits nonzero once the batch is done.
+// Exit codes: 0 = every job ran and every SPEC held, 1 = some job
+// errored or some property failed, 2 = usage or manifest I/O error.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/request_json.h"
+#include "engine/result_json.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace covest;
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+      "usage: covest_batch [options] [manifest]\n"
+      "\n"
+      "Runs a batch of coverage suites and emits one JSON result per\n"
+      "line (NDJSON), in input order. Jobs come from the manifest file,\n"
+      "or from stdin (one JSON request per line) when no manifest is\n"
+      "given. Manifest lines are model paths or inline JSON requests;\n"
+      "'#' and '--' start comments.\n"
+      "\n"
+      "options:\n"
+      "  --jobs N     worker threads (default 1; 0 = hardware threads)\n"
+      "  --shards K   split every suite's signal rows across K sessions\n"
+      "  --trace      compute hole traces for path-derived requests\n"
+      "  --stats      include timing/BDD statistics in the output\n"
+      "  --pretty     pretty-print results (not NDJSON)\n");
+}
+
+using covest::util::parse_count;
+
+struct BatchOptions {
+  std::size_t jobs = 1;
+  std::size_t shards = 0;  ///< 0 = leave each request's own value.
+  bool want_traces = false;
+  bool stats = false;
+  bool pretty = false;
+  std::string manifest;  ///< Empty = read NDJSON requests from stdin.
+};
+
+/// One parsed input line: a request, or the parse error that replaced it.
+struct BatchJob {
+  engine::CoverageRequest request;
+  std::string input_error;  ///< Non-empty: never submitted.
+};
+
+std::string dirname_of(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+bool is_comment_or_blank(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  if (i == line.size()) return true;
+  if (line[i] == '#') return true;
+  return line.compare(i, 2, "--") == 0;
+}
+
+std::string trimmed(const std::string& line) {
+  std::size_t b = 0, e = line.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+  return line.substr(b, e - b);
+}
+
+/// Parses one input line into a job. `base_dir` resolves relative model
+/// paths in the manifest — bare path lines and JSON `model_path` fields
+/// alike, so the same manifest works from any working directory (empty
+/// for stdin input, which resolves against the caller's cwd).
+BatchJob parse_line(const std::string& raw, const BatchOptions& options,
+                    const std::string& base_dir, bool allow_paths) {
+  BatchJob job;
+  const std::string line = trimmed(raw);
+  const auto resolve = [&base_dir](std::string path) {
+    return (!base_dir.empty() && !path.empty() && path[0] != '/')
+               ? base_dir + path
+               : path;
+  };
+  if (line[0] == '{') {
+    std::string error;
+    if (!engine::parse_request(line, &job.request, &error)) {
+      job.input_error = error;
+    } else {
+      job.request.model_path = resolve(std::move(job.request.model_path));
+    }
+  } else if (allow_paths) {
+    job.request.model_path = resolve(line);
+    job.request.want_traces = options.want_traces;
+  } else {
+    job.input_error = "stdin lines must be JSON requests (start with '{')";
+  }
+  if (job.input_error.empty() && options.shards > 0) {
+    job.request.shards = options.shards;
+  }
+  return job;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BatchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= argc || !parse_count(argv[++i], &options.jobs)) {
+        std::fprintf(stderr, "error: --jobs needs a non-negative integer\n\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      if (i + 1 >= argc || !parse_count(argv[++i], &options.shards) ||
+          options.shards == 0) {
+        std::fprintf(stderr, "error: --shards needs a positive integer\n\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      options.want_traces = true;
+    } else if (std::strcmp(arg, "--stats") == 0) {
+      options.stats = true;
+    } else if (std::strcmp(arg, "--pretty") == 0) {
+      options.pretty = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      usage(stdout);
+      return 0;
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "error: unknown option '%s'\n\n", arg);
+      usage(stderr);
+      return 2;
+    } else if (options.manifest.empty()) {
+      options.manifest = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one manifest given\n\n");
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  // -- Collect the jobs -----------------------------------------------------
+  std::vector<BatchJob> batch;
+  const bool from_manifest = !options.manifest.empty();
+  if (from_manifest) {
+    std::ifstream in(options.manifest);
+    if (!in.good()) {
+      std::fprintf(stderr, "error: cannot read manifest '%s'\n",
+                   options.manifest.c_str());
+      return 2;
+    }
+    const std::string base_dir = dirname_of(options.manifest);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (is_comment_or_blank(line)) continue;
+      batch.push_back(parse_line(line, options, base_dir, true));
+    }
+  } else {
+    // Stdin is a machine contract — one output line per input line, in
+    // order — so only blank lines are skipped; comment-looking garbage
+    // becomes an error line rather than silently shifting the pairing.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (trimmed(line).empty()) continue;
+      batch.push_back(parse_line(line, options, "", false));
+    }
+  }
+
+  // -- Fan out, emit in input order -----------------------------------------
+  // Submission runs a bounded window ahead of the output cursor: a
+  // finished-but-not-yet-printed job still pins its BDD node pools (the
+  // result's covered-set handles need them), so submitting a huge
+  // manifest all at once would make resident memory grow with the batch
+  // instead of with --jobs.
+  engine::Executor executor{
+      engine::ExecutorOptions{options.jobs, nullptr}};
+  const std::size_t window = 2 * executor.worker_count();
+  std::vector<engine::JobHandle> handles(batch.size());
+  std::size_t submitted = 0;
+  const auto submit_until = [&](std::size_t bound) {
+    for (; submitted < batch.size() && submitted < bound; ++submitted) {
+      if (batch[submitted].input_error.empty()) {
+        handles[submitted] = executor.submit(batch[submitted].request);
+      }
+    }
+  };
+
+  engine::JsonOptions json;
+  json.pretty = options.pretty;
+  json.include_stats = options.stats;
+  bool any_error = false;
+  bool any_failure = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    submit_until(i + window);
+    engine::SuiteResult result;
+    if (!batch[i].input_error.empty()) {
+      result.error = batch[i].input_error;
+    } else {
+      result = handles[i].take();
+    }
+    any_error = any_error || !result.error.empty();
+    any_failure = any_failure || result.failures > 0;
+    std::fputs(engine::to_json(result, json).c_str(), stdout);
+    std::fflush(stdout);
+  }
+  return (any_error || any_failure) ? 1 : 0;
+}

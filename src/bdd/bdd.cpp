@@ -184,6 +184,12 @@ std::size_t BddManager::subtable_bucket(Var v, NodeIndex low,
 }
 
 NodeIndex BddManager::make_node(Var v, NodeIndex low, NodeIndex high) {
+  // Single-threaded contract: node construction from a thread other than
+  // the owner means two threads are sharing one manager — the unique
+  // tables and the node pool would corrupt silently in release builds.
+  assert(owner_thread_ == std::this_thread::get_id() &&
+         "BddManager used from a foreign thread (see "
+         "rebind_to_current_thread)");
   if (low == high) return low;
   // Canonical form: the stored high edge is never complemented. Negating
   // both children and complementing the resulting edge preserves the

@@ -50,13 +50,20 @@
 // wraps; all stamps are reset to 0 once and the counter restarts at 1.
 //
 // Thread safety: a `BddManager` and all `Bdd` handles attached to it must
-// be used from a single thread.
+// be used from a single thread. The manager records the thread that
+// constructed it and, in debug builds, asserts that every node
+// construction happens on that thread — an executor bug that leaks a
+// manager across workers fails loudly instead of corrupting the pool.
+// A consumer that legitimately takes over a finished worker's manager
+// (e.g. `engine::JobHandle::take`) calls `rebind_to_current_thread`
+// first.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace covest::bdd {
@@ -336,6 +343,16 @@ class BddManager {
   /// Live node count right now (runs no GC; counts reachable nodes).
   std::size_t live_node_count();
 
+  /// Thread that owns this manager (single-threaded contract above).
+  std::thread::id owner_thread() const noexcept { return owner_thread_; }
+  /// Transfers ownership to the calling thread. Only legal once the
+  /// previous owner has stopped using the manager — the hand-off a
+  /// multi-worker executor performs when a finished job's results (and
+  /// their live `Bdd` handles) are consumed on another thread.
+  void rebind_to_current_thread() noexcept {
+    owner_thread_ = std::this_thread::get_id();
+  }
+
   /// Writes `f` in Graphviz DOT format (solid = high edge, dashed = low,
   /// odot arrowhead = complemented edge).
   void write_dot(std::ostream& os, const Bdd& f, const std::string& label);
@@ -482,6 +499,9 @@ class BddManager {
                                            ///< entry = total, for terminals).
   std::vector<unsigned> level_scratch_;    ///< sat_count: sorted levels.
   std::vector<std::uint32_t> var_gen_;  ///< Per-variable stamps (support()).
+  /// Thread-affinity guard: `make_node` asserts (debug builds) that node
+  /// construction happens on this thread. See `rebind_to_current_thread`.
+  std::thread::id owner_thread_ = std::this_thread::get_id();
   BddStats stats_;
 };
 

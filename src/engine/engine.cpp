@@ -1,24 +1,21 @@
 #include "engine/engine.h"
 
 #include <algorithm>
-#include <chrono>
 #include <set>
 #include <stdexcept>
 
 #include "ctl/ctl_parser.h"
+#include "engine/executor.h"
 #include "fsm/trace.h"
 #include "model/model_parser.h"
+#include "util/time.h"
 
 namespace covest::engine {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
+using util::Clock;
+using util::ms_since;
 
 /// Renders a symbolic trace into the self-contained result form (values
 /// in declaration order, so serializations are deterministic).
@@ -65,6 +62,31 @@ core::CoverageOptions lenient(core::CoverageOptions options) {
 
 }  // namespace
 
+std::vector<PropertySpec> resolve_suite(const CoverageRequest& request,
+                                        const model::Model& model) {
+  if (!request.properties.empty()) return request.properties;
+  std::vector<PropertySpec> specs;
+  specs.reserve(model.specs().size());
+  for (const model::SpecEntry& s : model.specs()) {
+    PropertySpec spec;
+    spec.ctl_text = s.ctl_text;
+    spec.observe = s.observed;
+    spec.comment = s.comment;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<std::string> resolve_signal_names(const CoverageRequest& request,
+                                              const model::Model& model) {
+  if (!request.signals.empty()) return request.signals;
+  std::set<std::string> seen;
+  for (const PropertySpec& s : resolve_suite(request, model)) {
+    for (const std::string& n : s.observe) seen.insert(n);
+  }
+  return {seen.begin(), seen.end()};
+}
+
 Session::Session(const model::Model& model, core::CoverageOptions options)
     : fsm_(model), checker_(fsm_), estimator_(checker_, lenient(options)) {}
 
@@ -82,16 +104,7 @@ SuiteResult Session::run(const CoverageRequest& request,
   };
 
   // -- Resolve the suite ----------------------------------------------------
-  std::vector<PropertySpec> specs = request.properties;
-  if (specs.empty()) {
-    for (const model::SpecEntry& s : m.specs()) {
-      PropertySpec spec;
-      spec.ctl_text = s.ctl_text;
-      spec.observe = s.observed;
-      spec.comment = s.comment;
-      specs.push_back(std::move(spec));
-    }
-  }
+  const std::vector<PropertySpec> specs = resolve_suite(request, m);
   std::vector<ctl::Formula> formulas;
   formulas.reserve(specs.size());
   for (const PropertySpec& s : specs) {
@@ -136,14 +149,7 @@ SuiteResult Session::run(const CoverageRequest& request,
   result.verify = snapshot(fsm_.mgr(), ms_since(t_verify));
 
   // -- Resolve the signal rows ----------------------------------------------
-  std::vector<std::string> names = request.signals;
-  if (names.empty()) {
-    std::set<std::string> seen;
-    for (const PropertySpec& s : specs) {
-      for (const std::string& n : s.observe) seen.insert(n);
-    }
-    names.assign(seen.begin(), seen.end());
-  }
+  const std::vector<std::string> names = resolve_signal_names(request, m);
 
   // -- Estimate -------------------------------------------------------------
   // The plain-reachability count is bookkeeping, not estimation: keep it
@@ -224,11 +230,15 @@ SuiteResult Session::run(const CoverageRequest& request,
 
 model::Model Engine::load_model(const CoverageRequest& request) {
   if (request.model) return *request.model;
+  if (!request.model_source.empty()) {
+    return model::parse_model(request.model_source);
+  }
   if (!request.model_path.empty()) {
     return model::parse_model_file(request.model_path);
   }
   throw std::runtime_error(
-      "CoverageRequest: set `model` or `model_path` as the model source");
+      "CoverageRequest: set `model`, `model_source` or `model_path` as the "
+      "model source");
 }
 
 std::unique_ptr<Session> Engine::open(const CoverageRequest& request) const {
@@ -237,33 +247,17 @@ std::unique_ptr<Session> Engine::open(const CoverageRequest& request) const {
 
 SuiteResult Engine::run(const CoverageRequest& request,
                         const RunHooks& hooks) const {
-  const auto t0 = Clock::now();
-  auto session =
-      std::make_shared<Session>(load_model(request), request.options);
-  const double elaborate_ms = ms_since(t0);
-
-  if (hooks.on_progress) {
-    Progress p;
-    p.phase = Progress::Phase::kElaborate;
-    p.index = p.total = 1;
-    p.item = session->model().name();
-    if (!hooks.on_progress(p)) {
-      SuiteResult r;
-      r.model_name = session->model().name();
-      r.state_bits = session->model().state_bit_count();
-      r.cancelled = true;
-      r.elaborate.ms = elaborate_ms;
-      r.total_ms = ms_since(t0);
-      return r;
-    }
-  }
-
-  SuiteResult result = session->run(request, hooks);
-  result.elaborate.ms = elaborate_ms;
-  result.total_ms = ms_since(t0);
-  // The covered-set handles in the result must not outlive the session's
-  // BDD manager.
-  result.retain = std::move(session);
+  // One-shot runs are a one-job batch: submit to a single-worker
+  // executor and wait, so this path and covest_batch execute the same
+  // pipeline code. The request's sharding hint is moot here — the
+  // executor clamps shards to its one worker, which is the serial path.
+  Executor executor{ExecutorOptions{1, nullptr}};
+  JobHooks job_hooks;
+  job_hooks.on_progress = hooks.on_progress;
+  SuiteResult result = executor.submit(request, job_hooks).take();
+  // Blocking callers keep exception semantics; only the batch layers
+  // report errors structurally.
+  if (!result.error.empty()) throw std::runtime_error(result.error);
   return result;
 }
 

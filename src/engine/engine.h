@@ -85,10 +85,14 @@ struct PropertySpec {
 
 /// Declarative description of one suite job.
 struct CoverageRequest {
-  // -- Model source: exactly one of the two ---------------------------------
+  // -- Model source: exactly one of the three -------------------------------
   /// `.cov` file to parse (see model/model_parser.h).
   std::string model_path;
-  /// In-memory model; takes precedence over `model_path`.
+  /// Inline `.cov` source text; parsed at execution. Serializable (unlike
+  /// `model`), so JSON requests can carry the whole model with them.
+  /// Takes precedence over `model_path`.
+  std::string model_source;
+  /// In-memory model; takes precedence over both text sources.
   std::optional<model::Model> model;
 
   // -- Suite ----------------------------------------------------------------
@@ -110,7 +114,29 @@ struct CoverageRequest {
   std::size_t uncovered_limit = 4;
   /// Compute a shortest input trace to an uncovered state per signal row.
   bool want_traces = false;
+  /// Intra-suite signal sharding (executor runs only): split the signal
+  /// rows across up to this many worker sessions (clamped to the
+  /// executor's worker count). Each shard re-verifies the suite against
+  /// its own BDD manager; rows are merged back in request order and are
+  /// bit-identical to the serial path. `Session::run` ignores the field,
+  /// and `Engine::run`'s one-worker executor clamps it to 1 — both are
+  /// the serial path.
+  std::size_t shards = 1;
 };
+
+/// The effective property suite of a request on its model: the request's
+/// own properties, else the model's SPEC entries. `Session::run` and the
+/// executor's shard validation both resolve through here — the sharded
+/// path must agree with the serial path on this list.
+std::vector<PropertySpec> resolve_suite(const CoverageRequest& request,
+                                        const model::Model& model);
+
+/// The effective signal-row names: the request's explicit signals, else
+/// the sorted union of the resolved suite's OBSERVE lists. Signal
+/// sharding splits exactly this list, so row merge order is request
+/// order by construction.
+std::vector<std::string> resolve_signal_names(const CoverageRequest& request,
+                                              const model::Model& model);
 
 // ---------------------------------------------------------------------------
 // Result
@@ -179,13 +205,18 @@ struct SuiteResult {
 
   std::size_t failures = 0;  ///< Properties that failed verification.
   bool cancelled = false;    ///< A progress hook aborted the run.
+  /// Non-empty when the job failed before producing a full result: no
+  /// model source, model/CTL parse error, unknown signal... The batch
+  /// paths (executor, covest_batch) report errors structurally instead
+  /// of throwing; `Engine::run` rethrows for API compatibility.
+  std::string error;
 
   PhaseStats elaborate;  ///< Parse + FSM elaboration.
   PhaseStats verify;     ///< Model checking of the suite.
   PhaseStats estimate;   ///< Coverage estimation + hole reporting.
   double total_ms = 0.0;
 
-  bool all_passed() const { return failures == 0; }
+  bool all_passed() const { return failures == 0 && error.empty(); }
 };
 
 // ---------------------------------------------------------------------------
@@ -245,6 +276,17 @@ class Session {
 /// The facade: resolves the request's model source and executes the
 /// pipeline. Stateless — each `run` elaborates a fresh session; use
 /// `open` to keep the session (and its caches) for follow-up suites.
+///
+/// `run` is layered on the multi-worker `engine::Executor`
+/// (executor.h): it submits the request to a single-worker executor and
+/// waits, so the one-shot path and the batch path execute the same
+/// code. Two consequences for callers: `RunHooks::on_progress` is
+/// invoked on the worker thread (the caller blocks meanwhile, so no
+/// synchronization is needed, but thread-affine callbacks must not
+/// assume the calling thread), and failures of any original exception
+/// type surface as the worker's structured `SuiteResult::error`,
+/// rethrown here as `std::runtime_error` carrying the original message
+/// — blocking callers keep exception semantics, batch callers get data.
 class Engine {
  public:
   /// Parses/copies the request's model (no elaboration).

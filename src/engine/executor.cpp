@@ -1,0 +1,466 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/observed.h"
+#include "ctl/ctl_parser.h"
+#include "util/time.h"
+
+namespace covest::engine {
+
+namespace detail {
+
+/// Shared state of one submitted job. Workers fill `shard_results`; the
+/// last shard to finish merges them into `result` and flips `ready`.
+struct JobState {
+  std::uint64_t id = 0;
+  CoverageRequest request;
+  JobHooks hooks;
+  JobEventFn executor_event;  ///< Executor-wide tap (may be empty).
+
+  std::size_t shard_count = 1;
+  std::atomic<bool> cancel{false};
+  /// A shard hit an error: sibling shards abort early — their rows
+  /// would be dropped anyway, because an errored job reports error-only
+  /// exactly like the serial path. Distinct from `cancel` so the merged
+  /// result does not masquerade as user-cancelled.
+  std::atomic<bool> failed{false};
+  std::atomic<bool> started{false};
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  bool taken = false;
+  std::size_t shards_done = 0;
+  std::vector<SuiteResult> shard_results;
+  /// One session per shard that actually elaborated; keeps every manager
+  /// behind the merged result's `covered` handles alive, and is the list
+  /// `take()` rebinds to the consuming thread.
+  std::vector<std::shared_ptr<Session>> sessions;
+  SuiteResult result;
+
+  /// Events are a fire-and-forget tap: a throwing callback must not
+  /// kill a worker thread (std::terminate) or fail the job, so
+  /// exceptions are swallowed here — the documented contract.
+  void emit(JobEvent event) const {
+    event.job = id;
+    event.shards = shard_count;
+    if (hooks.on_event) {
+      try {
+        hooks.on_event(event);
+      } catch (...) {
+      }
+    }
+    if (executor_event) {
+      try {
+        executor_event(event);
+      } catch (...) {
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::JobState;
+using util::Clock;
+using util::ms_since;
+
+/// Fail-fast request validation, run on the worker before any BDD work:
+/// every property must parse and every requested signal must exist.
+/// Throws std::runtime_error with a per-job message; the worker turns it
+/// into `SuiteResult::error`.
+void validate_request(const CoverageRequest& request, const model::Model& m,
+                      const std::vector<std::string>& signal_names) {
+  for (const PropertySpec& s : resolve_suite(request, m)) {
+    if (s.formula.valid()) continue;
+    try {
+      ctl::parse_ctl(s.ctl_text);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("property '" + s.ctl_text +
+                               "': " + e.what());
+    }
+  }
+  for (const std::string& name : signal_names) {
+    core::observe_all_bits(m, name);  // Throws for unknown signals.
+  }
+}
+
+/// The contiguous chunk of `names` owned by `shard` of `shards`. Chunked
+/// (not strided) assignment keeps concatenation-in-shard-order equal to
+/// request order even for partial (cancelled) shards.
+std::vector<std::string> shard_chunk(const std::vector<std::string>& names,
+                                     std::size_t shard, std::size_t shards) {
+  const std::size_t base = names.size() / shards;
+  const std::size_t rem = names.size() % shards;
+  const std::size_t begin = shard * base + std::min(shard, rem);
+  const std::size_t count = base + (shard < rem ? 1 : 0);
+  return {names.begin() + begin, names.begin() + begin + count};
+}
+
+/// Runs one shard of one job on the calling (worker) thread. Everything
+/// symbolic — manager, FSM, session — is constructed locally; only the
+/// JobState slots are shared. Never throws.
+SuiteResult run_shard(JobState& job, std::size_t shard) {
+  const auto t0 = Clock::now();
+  SuiteResult result;
+
+  if (job.cancel.load(std::memory_order_relaxed) ||
+      job.failed.load(std::memory_order_relaxed)) {
+    result.cancelled = true;
+    return result;
+  }
+
+  if (!job.started.exchange(true)) {
+    JobEvent started;
+    started.kind = JobEvent::Kind::kStarted;
+    started.shard = shard;
+    job.emit(started);
+  }
+
+  try {
+    const model::Model m = Engine::load_model(job.request);
+    const std::vector<std::string> names =
+        resolve_signal_names(job.request, m);
+
+    CoverageRequest shard_request = job.request;
+    shard_request.signals = job.shard_count > 1
+                                ? shard_chunk(names, shard, job.shard_count)
+                                : names;
+    // A trailing shard of a small suite may own no rows; the suite's
+    // verification outcome comes from shard 0, so there is nothing to do.
+    if (shard != 0 && shard_request.signals.empty()) return result;
+
+    // Fail-fast validation runs once, on the shard that carries the
+    // suite-level result; a defect any shard would hit (bad CTL, unknown
+    // signal) surfaces as shard 0's — and thus the job's — error.
+    if (shard == 0) validate_request(job.request, m, names);
+
+    auto session = std::make_shared<Session>(m, job.request.options);
+    const double elaborate_ms = ms_since(t0);
+
+    // The facade's elaborate tick (shard 0 carries the serial progress
+    // contract; other shards only report through events).
+    if (shard == 0 && job.hooks.on_progress) {
+      Progress p;
+      p.phase = Progress::Phase::kElaborate;
+      p.index = p.total = 1;
+      p.item = session->model().name();
+      if (!job.hooks.on_progress(p)) {
+        job.cancel.store(true, std::memory_order_relaxed);
+        result.model_name = session->model().name();
+        result.state_bits = session->model().state_bit_count();
+        result.cancelled = true;
+        result.elaborate.ms = elaborate_ms;
+        result.total_ms = ms_since(t0);
+        return result;
+      }
+    }
+
+    RunHooks session_hooks;
+    bool estimating = false;
+    const std::size_t row_count = shard_request.signals.size();
+    const auto emit_estimating = [&job, shard, &estimating, row_count] {
+      estimating = true;
+      JobEvent ev;
+      ev.kind = JobEvent::Kind::kEstimating;
+      ev.shard = shard;
+      ev.progress.phase = Progress::Phase::kEstimate;
+      ev.progress.total = row_count;  ///< This shard's rows.
+      job.emit(ev);
+    };
+    session_hooks.on_progress = [&job, shard, &estimating,
+                                 &emit_estimating](const Progress& p) {
+      if (p.phase == Progress::Phase::kVerify ||
+          p.phase == Progress::Phase::kEstimate) {
+        // Estimation begins when the last property has been verified
+        // (the zero-property fallback fires before the first row tick).
+        if (p.phase == Progress::Phase::kEstimate && !estimating) {
+          emit_estimating();
+        }
+        JobEvent ev;
+        ev.kind = p.phase == Progress::Phase::kVerify
+                      ? JobEvent::Kind::kVerifying
+                      : JobEvent::Kind::kRowDone;
+        ev.shard = shard;
+        ev.progress = p;
+        job.emit(ev);
+        if (p.phase == Progress::Phase::kVerify && p.index == p.total &&
+            !estimating) {
+          emit_estimating();
+        }
+      }
+      bool keep_going = true;
+      if (shard == 0 && job.hooks.on_progress) {
+        keep_going = job.hooks.on_progress(p);
+        if (!keep_going) job.cancel.store(true, std::memory_order_relaxed);
+      }
+      return keep_going && !job.cancel.load(std::memory_order_relaxed) &&
+             !job.failed.load(std::memory_order_relaxed);
+    };
+
+    result = session->run(shard_request, session_hooks);
+    result.elaborate.ms = elaborate_ms;
+    result.total_ms = ms_since(t0);
+
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.sessions.push_back(std::move(session));
+  } catch (const std::exception& e) {
+    result.error = e.what();
+    result.total_ms = ms_since(t0);
+    job.failed.store(true, std::memory_order_relaxed);
+  } catch (...) {
+    result.error = "unknown error in coverage worker";
+    result.total_ms = ms_since(t0);
+    job.failed.store(true, std::memory_order_relaxed);
+  }
+  return result;
+}
+
+/// Merges the per-shard results (called under job.mu once every shard is
+/// done). Shard 0 carries the suite-level fields; rows concatenate in
+/// shard order, which is request order by construction.
+SuiteResult merge_shards(JobState& job) {
+  SuiteResult merged = std::move(job.shard_results[0]);
+  for (std::size_t s = 1; s < job.shard_results.size(); ++s) {
+    SuiteResult& r = job.shard_results[s];
+    for (SignalRow& row : r.signals) merged.signals.push_back(std::move(row));
+    if (merged.error.empty() && !r.error.empty()) merged.error = r.error;
+    merged.cancelled = merged.cancelled || r.cancelled;
+    merged.total_ms = std::max(merged.total_ms, r.total_ms);
+    // Report the CPU actually spent: every shard elaborates and
+    // re-verifies the whole suite, so phase times sum across shards
+    // (node counts stay shard 0's — pools are per-manager and do not
+    // add up meaningfully).
+    merged.elaborate.ms += r.elaborate.ms;
+    merged.verify.ms += r.verify.ms;
+    merged.estimate.ms += r.estimate.ms;
+  }
+  if (!merged.error.empty()) {
+    // Error-only, exactly like the serial path (which fails before
+    // producing any rows): partial rows from sibling shards that
+    // finished before the error propagated are dropped, and the abort
+    // of those siblings must not read as a user cancellation.
+    SuiteResult error_only;
+    error_only.error = std::move(merged.error);
+    error_only.total_ms = merged.total_ms;
+    return error_only;
+  }
+  // One retain for all shard managers: the merged rows' covered handles
+  // span several managers, each owned by one of these sessions.
+  merged.retain =
+      std::make_shared<std::vector<std::shared_ptr<Session>>>(job.sessions);
+  return merged;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JobHandle
+// ---------------------------------------------------------------------------
+
+std::uint64_t JobHandle::id() const { return state_ ? state_->id : 0; }
+
+bool JobHandle::done() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->ready;
+}
+
+void JobHandle::wait() const {
+  if (!state_) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->ready; });
+}
+
+void JobHandle::cancel() const {
+  if (state_) state_->cancel.store(true, std::memory_order_relaxed);
+}
+
+SuiteResult JobHandle::take() const {
+  if (!state_) throw std::runtime_error("JobHandle::take on an empty handle");
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->ready; });
+  if (state_->taken) {
+    throw std::runtime_error("JobHandle::take: result already taken");
+  }
+  state_->taken = true;
+  // Hand the symbolic state over to the consuming thread: the workers
+  // are done with these managers, and the caller may keep composing with
+  // the result's covered-set handles.
+  for (const std::shared_ptr<Session>& s : state_->sessions) {
+    s->fsm().mgr().rebind_to_current_thread();
+  }
+  SuiteResult result = std::move(state_->result);
+  // Session lifetime now rides on the result's `retain` alone: a live
+  // JobHandle must not pin a finished job's BDD managers, or a batch
+  // that holds its handles keeps every node pool resident at once.
+  state_->sessions.clear();
+  state_->shard_results.clear();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+struct Executor::Impl {
+  struct Task {
+    std::shared_ptr<JobState> job;
+    std::size_t shard = 0;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Task> queue;
+  bool stopping = false;
+  std::uint64_t next_job_id = 1;
+  /// Every live submitted job (weak: dead once taken and dropped);
+  /// cancel_all walks it, submit prunes expired entries amortized.
+  std::vector<std::weak_ptr<JobState>> jobs;
+  std::size_t next_prune = 64;
+  JobEventFn on_event;
+};
+
+Executor::Executor(ExecutorOptions options) : impl_(new Impl) {
+  impl_->on_event = std::move(options.on_event);
+  std::size_t n = options.workers;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    Impl::Task task;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mu);
+      impl_->cv.wait(lock, [this] {
+        return impl_->stopping || !impl_->queue.empty();
+      });
+      // Drain semantics: accepted work still runs during shutdown.
+      if (impl_->queue.empty()) return;
+      task = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+
+    JobState& job = *task.job;
+    SuiteResult shard_result = run_shard(job, task.shard);
+
+    bool finished = false;
+    {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.shard_results[task.shard] = std::move(shard_result);
+      if (++job.shards_done == job.shard_count) {
+        job.result = merge_shards(job);
+        finished = true;
+      }
+    }
+    if (finished) {
+      // kFinished fires before the result becomes takeable, so the
+      // event stream is complete once a waiter unblocks.
+      JobEvent ev;
+      ev.kind = JobEvent::Kind::kFinished;
+      ev.cancelled = job.result.cancelled;
+      ev.error = job.result.error;
+      job.emit(ev);
+      {
+        std::lock_guard<std::mutex> lock(job.mu);
+        job.ready = true;
+      }
+      job.cv.notify_all();
+    }
+  }
+}
+
+JobHandle Executor::submit(CoverageRequest request, JobHooks hooks) {
+  auto state = std::make_shared<JobState>();
+  state->request = std::move(request);
+  state->hooks = std::move(hooks);
+  state->executor_event = impl_->on_event;
+  // Clamp the sharding request to the pool width: shards beyond the
+  // worker count cannot run concurrently and would only multiply the
+  // per-shard re-verification cost — and an untrusted request with an
+  // absurd count must not translate into unbounded task allocation.
+  state->shard_count = std::clamp<std::size_t>(state->request.shards, 1,
+                                               threads_.size());
+  state->shard_results.resize(state->shard_count);
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    state->id = impl_->next_job_id++;
+    // Amortized registry pruning: dead jobs (taken and dropped) leave
+    // expired weak_ptrs behind; a long-lived executor must not grow.
+    if (impl_->jobs.size() >= impl_->next_prune) {
+      std::erase_if(impl_->jobs,
+                    [](const std::weak_ptr<JobState>& w) { return w.expired(); });
+      impl_->next_prune = std::max<std::size_t>(64, impl_->jobs.size() * 2);
+    }
+    impl_->jobs.push_back(state);
+  }
+  // kQueued fires before the tasks become visible to workers, so a
+  // job's event stream always starts with it.
+  JobEvent queued;
+  queued.kind = JobEvent::Kind::kQueued;
+  state->emit(queued);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (std::size_t s = 0; s < state->shard_count; ++s) {
+      impl_->queue.push_back(Impl::Task{state, s});
+    }
+  }
+  impl_->cv.notify_all();
+  return JobHandle(state);
+}
+
+std::vector<SuiteResult> Executor::run_all(
+    std::vector<CoverageRequest> requests) {
+  std::vector<JobHandle> handles;
+  handles.reserve(requests.size());
+  for (CoverageRequest& r : requests) handles.push_back(submit(std::move(r)));
+  std::vector<SuiteResult> results;
+  results.reserve(handles.size());
+  for (const JobHandle& h : handles) results.push_back(h.take());
+  return results;
+}
+
+std::size_t Executor::cancel_all() {
+  std::vector<std::weak_ptr<JobState>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    jobs = impl_->jobs;
+  }
+  std::size_t reached = 0;
+  for (const std::weak_ptr<JobState>& w : jobs) {
+    if (const std::shared_ptr<JobState> job = w.lock()) {
+      std::unique_lock<std::mutex> lock(job->mu);
+      if (!job->ready) {
+        job->cancel.store(true, std::memory_order_relaxed);
+        ++reached;
+      }
+    }
+  }
+  return reached;
+}
+
+}  // namespace covest::engine

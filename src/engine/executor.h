@@ -1,0 +1,185 @@
+// Asynchronous multi-worker execution of coverage suites — the batch
+// layer on top of the engine facade.
+//
+// The paper's workflow is many suites × many observed signals; this is
+// the subsystem that serves it at scale. An `Executor` owns a pool of
+// `std::thread` workers, each of which builds its jobs' BDD state
+// *locally*: one job (or one shard of a job) gets one single-threaded
+// `BddManager`/FSM/`Session` constructed and used entirely on the
+// worker thread, respecting the bdd.h thread-safety contract. There is
+// no shared mutable symbolic state between workers — only the job queue
+// and result slots are synchronized.
+//
+//   engine::Executor ex(engine::ExecutorOptions{4});
+//   engine::JobHandle a = ex.submit(request_a);
+//   engine::JobHandle b = ex.submit(request_b);
+//   engine::SuiteResult ra = a.take();   // blocks; rebinds managers
+//
+// Deterministic ordering: `run_all` returns one result per request in
+// submit order regardless of which worker finishes first, and every row
+// of every result is bit-identical to the serial `Engine::run` path.
+//
+// Signal sharding: a request with `shards = K > 1` splits its signal
+// rows across up to K sessions. Each shard re-verifies the suite
+// against its own manager (verification is the price of independence —
+// the satisfaction sets cannot be shared across managers), estimates a
+// contiguous chunk of the rows, and the chunks are concatenated back in
+// request order. Completed runs are bit-identical to serial; a
+// *cancelled* sharded run keeps each shard's prefix, so the partial row
+// list may have interior gaps (row order is still request order) —
+// unlike the serial path, whose partial result is always one prefix.
+// Merged phase stats sum the per-shard times (every shard re-verifies),
+// while node counts are shard 0's.
+//
+// Errors: nothing a job does throws out of a worker. Model/CTL parse
+// errors, unknown signals and missing model sources all surface as
+// `SuiteResult::error` on that job's result.
+//
+// Events: per-job streaming events (queued / started / verifying /
+// estimating / row-done / finished) are a superset of the facade's
+// `RunHooks` progress ticks. Event callbacks run on worker threads
+// (kQueued on the submitting thread); the callee synchronizes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+
+namespace covest::engine {
+
+namespace detail {
+struct JobState;
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// One streaming event in a job's lifecycle. `kVerifying`, `kEstimating`
+/// and `kRowDone` carry the underlying `Progress` tick.
+struct JobEvent {
+  enum class Kind {
+    kQueued,      ///< Accepted by `submit` (fires on the submitting thread).
+    kStarted,     ///< A worker began elaborating the job's first shard.
+    kVerifying,   ///< One property checked (`progress` has index/total/ok).
+    kEstimating,  ///< Verification done, coverage estimation begins.
+    kRowDone,     ///< One signal row estimated (`progress` has percent).
+    kFinished,    ///< Result ready; `cancelled`/`error` summarize it.
+  };
+  std::uint64_t job = 0;  ///< Monotonic per-executor job id (submit order).
+  Kind kind = Kind::kQueued;
+  std::size_t shard = 0;   ///< Shard that produced the event.
+  std::size_t shards = 1;  ///< Total shards of this job.
+  Progress progress;       ///< Valid for kVerifying/kEstimating/kRowDone.
+  bool cancelled = false;  ///< kFinished: the job was cancelled.
+  std::string error;       ///< kFinished: the job's structured error.
+};
+
+/// Called from worker threads (kQueued: from the submitting thread).
+/// Fire-and-forget: exceptions thrown by the callback are swallowed —
+/// an event tap can neither fail a job nor kill a worker.
+using JobEventFn = std::function<void(const JobEvent&)>;
+
+/// Per-job callbacks. `on_progress` follows the facade contract
+/// (RunHooks): it receives shard 0's ticks in serial order and may
+/// cancel the whole job by returning false. `on_event` receives every
+/// shard's events.
+struct JobHooks {
+  ProgressFn on_progress;
+  JobEventFn on_event;
+};
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// Future-like handle to a submitted job. Copyable; all copies refer to
+/// the same job. The result can be taken exactly once.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  /// True when the handle refers to a job (default-constructed ones don't).
+  bool valid() const { return state_ != nullptr; }
+  std::uint64_t id() const;
+
+  /// True once the result is ready (non-blocking).
+  bool done() const;
+
+  /// Blocks until the result is ready.
+  void wait() const;
+
+  /// Requests cancellation: a queued job finishes immediately with
+  /// `cancelled` set; a running job stops after its current item and
+  /// returns the partial result (the facade's cancellation semantics).
+  void cancel() const;
+
+  /// Blocks, then moves the result out (valid once per job). The BDD
+  /// managers behind the result's live `covered` handles are rebound to
+  /// the calling thread, so library callers may keep composing with them.
+  SuiteResult take() const;
+
+ private:
+  friend class Executor;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+struct ExecutorOptions {
+  /// Worker threads; 0 means one per hardware thread.
+  std::size_t workers = 1;
+  /// Executor-wide event tap, called in addition to each job's own
+  /// `JobHooks::on_event`.
+  JobEventFn on_event;
+};
+
+/// The worker pool. Destruction drains: it waits for every submitted
+/// job to finish (call `cancel_all` first for a fast shutdown).
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options = {});
+  explicit Executor(std::size_t workers)
+      : Executor(ExecutorOptions{workers, nullptr}) {}
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueues one suite job (request.shards > 1 enqueues its shards,
+  /// clamped to the worker count — extra shards could not run
+  /// concurrently and would only multiply re-verification cost).
+  /// Never throws for request defects — they come back as
+  /// `SuiteResult::error` on the handle.
+  JobHandle submit(CoverageRequest request, JobHooks hooks = {});
+
+  /// Convenience barrier: submits every request, waits, and returns the
+  /// results in request order.
+  std::vector<SuiteResult> run_all(std::vector<CoverageRequest> requests);
+
+  /// Drain-all cancellation: cancels every job that has not finished
+  /// (queued jobs complete as cancelled without running). Returns the
+  /// number of jobs the cancellation reached.
+  std::size_t cancel_all();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::vector<std::thread> threads_;
+
+  void worker_loop();
+};
+
+}  // namespace covest::engine

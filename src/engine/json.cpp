@@ -1,0 +1,293 @@
+#include "engine/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace covest::engine::json {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value run() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + " at byte " + std::to_string(pos_));
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Value parse_value() {
+    // The parser recurses per nesting level and is fed untrusted input
+    // (covest_batch stdin/manifest lines): bound the depth or one
+    // hostile line of brackets overflows the stack.
+    if (++depth_ > kMaxDepth) fail("nesting too deep");
+    Value v;
+    switch (peek()) {
+      case '{': v = parse_object(); break;
+      case '[': v = parse_array(); break;
+      case '"':
+        v.type = Value::Type::kString;
+        v.string = parse_string();
+        break;
+      case 't': parse_literal("true"); v = make_bool(true); break;
+      case 'f': parse_literal("false"); v = make_bool(false); break;
+      case 'n': parse_literal("null"); break;
+      default: v = parse_number(); break;
+    }
+    --depth_;
+    return v;
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.type = Value::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Value parse_object() {
+    Value v;
+    v.type = Value::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+      skip_ws();
+    }
+  }
+
+  Value parse_array() {
+    Value v;
+    v.type = Value::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = read_hex4();
+          if (code >= 0xdc00 && code <= 0xdfff) {
+            fail("lone low surrogate \\u escape");
+          }
+          if (code >= 0xd800 && code <= 0xdbff) {
+            // RFC 8259 encodes non-BMP characters as a surrogate pair
+            // of \u escapes; a high surrogate must be followed by one.
+            if (next() != '\\' || next() != 'u') {
+              fail("high surrogate \\u escape without a low surrogate");
+            }
+            const unsigned low = read_hex4();
+            if (low < 0xdc00 || low > 0xdfff) {
+              fail("high surrogate \\u escape without a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  unsigned read_hex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = next();
+      if (!std::isxdigit(static_cast<unsigned char>(h))) {
+        fail("bad \\u escape");
+      }
+      code = code * 16 +
+             static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(h))
+                                       ? h - '0'
+                                       : std::tolower(h) - 'a' + 10);
+    }
+    return code;
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+  }
+
+  void parse_literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (next() != *p) fail(std::string("bad literal, expected ") + word);
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digit()) fail("expected digit");
+    if (text_[pos_ - 1] != '0') {
+      while (digit()) {}
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit()) fail("expected digit after '.'");
+      while (digit()) {}
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) fail("expected exponent digit");
+      while (digit()) {}
+    }
+    Value v;
+    v.type = Value::Type::kNumber;
+    // from_chars, not strtod/stod: locale-independent (an embedding app
+    // with LC_NUMERIC=de_DE must not truncate "1.5" at the dot) and
+    // non-throwing. Grammar-valid but unrepresentable magnitudes
+    // ("1e999") are legal RFC 8259: saturate to ±inf, underflow toward
+    // signed zero — schema layers that need an integer reject the
+    // infinity downstream.
+    const auto res = std::from_chars(text_.data() + start,
+                                     text_.data() + pos_, v.number);
+    if (res.ec == std::errc::result_out_of_range) {
+      const bool negative = text_[start] == '-';
+      const std::size_t e = text_.find_first_of("eE", start);
+      const bool underflow =
+          e != std::string::npos && e < pos_ && text_[e + 1] == '-';
+      v.number = underflow ? (negative ? -0.0 : 0.0)
+                           : (negative ? -HUGE_VAL : HUGE_VAL);
+    }
+    return v;
+  }
+
+  bool digit() {
+    if (pos_ < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static constexpr int kMaxDepth = 256;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace covest::engine::json

@@ -1,0 +1,39 @@
+// Internal JSON plumbing shared by the engine serializers: the one
+// string-escaping routine every writer uses, and the one RFC 8259
+// parser behind both `validate_json` (result_json.h) and the request
+// parser (request_json.h). Grammar and escaping fixes land here once.
+//
+// This is an implementation-detail header for src/engine; the public
+// contracts live in request_json.h / result_json.h.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace covest::engine::json {
+
+/// Writes `s` as a quoted JSON string: `"`, `\`, \n, \r, \t escaped by
+/// name, other control characters as \u00xx, everything else verbatim.
+void write_escaped(std::ostream& os, const std::string& s);
+
+/// A parsed JSON value (document-order object members, no coercions).
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+};
+
+/// Parses exactly one JSON document (RFC 8259 grammar, no extensions;
+/// \u escapes decode to UTF-8, including surrogate pairs — lone
+/// surrogates are rejected; unrepresentable number magnitudes saturate
+/// to ±infinity). Throws std::runtime_error with the byte offset on
+/// malformed input.
+Value parse(const std::string& text);
+
+}  // namespace covest::engine::json

@@ -1,9 +1,10 @@
 #include "engine/result_json.h"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+
+#include "engine/json.h"
 
 namespace covest::engine {
 
@@ -59,27 +60,7 @@ class JsonWriter {
   }
 
  private:
-  void raw_string(const std::string& s) {
-    os_ << '"';
-    for (const char c : s) {
-      switch (c) {
-        case '"': os_ << "\\\""; break;
-        case '\\': os_ << "\\\\"; break;
-        case '\n': os_ << "\\n"; break;
-        case '\r': os_ << "\\r"; break;
-        case '\t': os_ << "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            os_ << buf;
-          } else {
-            os_ << c;
-          }
-      }
-    }
-    os_ << '"';
-  }
+  void raw_string(const std::string& s) { json::write_escaped(os_, s); }
 
   void open(char c) {
     value_separator();
@@ -185,6 +166,10 @@ std::string to_json(const SuiteResult& r, const JsonOptions& options) {
   w.boolean(r.all_passed());
   w.key("cancelled");
   w.boolean(r.cancelled);
+  if (!r.error.empty()) {  // Only batch/executor failures carry one.
+    w.key("error");
+    w.string(r.error);
+  }
   w.end_object();
 
   w.key("properties");
@@ -266,178 +251,18 @@ std::string to_json(const SuiteResult& r, const JsonOptions& options) {
 }
 
 // ---------------------------------------------------------------------------
-// Validating parser (RFC 8259 grammar, values discarded)
+// Validation (the shared RFC 8259 parser in engine/json.h, value
+// discarded)
 // ---------------------------------------------------------------------------
 
-namespace {
-
-class JsonValidator {
- public:
-  explicit JsonValidator(const std::string& text) : text_(text) {}
-
-  bool run(std::string* error) {
-    try {
-      skip_ws();
-      parse_value();
-      skip_ws();
-      if (pos_ != text_.size()) fail("trailing content after JSON value");
-      return true;
-    } catch (const std::runtime_error& e) {
-      if (error != nullptr) *error = e.what();
-      return false;
-    }
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) {
-    throw std::runtime_error(what + " at byte " + std::to_string(pos_));
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  char next() {
-    const char c = peek();
-    ++pos_;
-    return c;
-  }
-
-  void expect(char c) {
-    if (next() != c) fail(std::string("expected '") + c + "'");
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  void parse_value() {
-    switch (peek()) {
-      case '{': parse_object(); return;
-      case '[': parse_array(); return;
-      case '"': parse_string(); return;
-      case 't': parse_literal("true"); return;
-      case 'f': parse_literal("false"); return;
-      case 'n': parse_literal("null"); return;
-      default: parse_number(); return;
-    }
-  }
-
-  void parse_object() {
-    expect('{');
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return;
-    }
-    while (true) {
-      skip_ws();
-      parse_string();
-      skip_ws();
-      expect(':');
-      skip_ws();
-      parse_value();
-      skip_ws();
-      const char c = next();
-      if (c == '}') return;
-      if (c != ',') fail("expected ',' or '}' in object");
-    }
-  }
-
-  void parse_array() {
-    expect('[');
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return;
-    }
-    while (true) {
-      skip_ws();
-      parse_value();
-      skip_ws();
-      const char c = next();
-      if (c == ']') return;
-      if (c != ',') fail("expected ',' or ']' in array");
-    }
-  }
-
-  void parse_string() {
-    expect('"');
-    while (true) {
-      const char c = next();
-      if (c == '"') return;
-      if (static_cast<unsigned char>(c) < 0x20) {
-        fail("unescaped control character in string");
-      }
-      if (c == '\\') {
-        const char esc = next();
-        switch (esc) {
-          case '"': case '\\': case '/': case 'b': case 'f':
-          case 'n': case 'r': case 't':
-            break;
-          case 'u':
-            for (int i = 0; i < 4; ++i) {
-              if (!std::isxdigit(static_cast<unsigned char>(next()))) {
-                fail("bad \\u escape");
-              }
-            }
-            break;
-          default:
-            fail("bad escape character");
-        }
-      }
-    }
-  }
-
-  void parse_literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p) {
-      if (next() != *p) fail(std::string("bad literal, expected ") + word);
-    }
-  }
-
-  void parse_number() {
-    if (peek() == '-') ++pos_;
-    if (!digit()) fail("expected digit");
-    if (text_[pos_ - 1] != '0') {
-      while (digit()) {}
-    }
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      if (!digit()) fail("expected digit after '.'");
-      while (digit()) {}
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-        ++pos_;
-      }
-      if (!digit()) fail("expected exponent digit");
-      while (digit()) {}
-    }
-  }
-
-  bool digit() {
-    if (pos_ < text_.size() &&
-        std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-      return true;
-    }
+bool validate_json(const std::string& text, std::string* error) {
+  try {
+    (void)json::parse(text);
+    return true;
+  } catch (const std::runtime_error& e) {
+    if (error != nullptr) *error = e.what();
     return false;
   }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-}  // namespace
-
-bool validate_json(const std::string& text, std::string* error) {
-  return JsonValidator(text).run(error);
 }
 
 }  // namespace covest::engine

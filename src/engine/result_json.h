@@ -26,8 +26,10 @@ struct JsonOptions {
 std::string to_json(const SuiteResult& result, const JsonOptions& options = {});
 
 /// Validates that `text` is one well-formed JSON value (RFC 8259
-/// grammar; no extensions). Returns true on success; otherwise fills
-/// `error` (when non-null) with a message carrying the byte offset.
+/// grammar; no extensions; strict on \u escapes — surrogate pairs must
+/// pair up, lone surrogates are rejected). Returns true on success;
+/// otherwise fills `error` (when non-null) with a message carrying the
+/// byte offset.
 bool validate_json(const std::string& text, std::string* error = nullptr);
 
 }  // namespace covest::engine

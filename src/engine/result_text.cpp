@@ -20,6 +20,11 @@ std::string render_text(const SuiteResult& r, const TextOptions& options) {
   std::ostringstream os;
   char buf[160];
 
+  if (!r.error.empty()) {
+    os << "error: " << r.error << "\n";
+    return os.str();
+  }
+
   std::snprintf(buf, sizeof buf, "model %s: %u state bits, %.0f reachable states\n",
                 r.model_name.c_str(), r.state_bits, r.reachable_states);
   os << buf;

@@ -1,0 +1,28 @@
+// Small shared helpers for the command-line front-ends (coverage_tool,
+// covest_batch, the bench drivers). Header-only on purpose: the
+// binaries stay thin adapters and the one parsing rule lives here.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace covest::util {
+
+/// Strict non-negative integer parse for CLI arguments: rejects null,
+/// empty strings, signs, trailing garbage and out-of-range values
+/// instead of best-effort truncation.
+inline bool parse_count(const char* text, std::size_t* out) {
+  if (text == nullptr || *text == '\0' ||
+      !std::isdigit(static_cast<unsigned char>(*text))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace covest::util

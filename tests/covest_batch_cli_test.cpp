@@ -1,0 +1,242 @@
+// Integration tests for the covest_batch CLI: manifest and stdin NDJSON
+// modes, --jobs determinism, byte-level parity of batch lines with the
+// serial engine, structured error lines and exit codes.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/result_json.h"
+
+namespace covest {
+namespace {
+
+#if defined(COVEST_BATCH_TOOL_PATH) && defined(COVEST_SOURCE_DIR)
+
+struct RunOutcome {
+  int exit_code = -1;
+  std::string output;  ///< stdout only (stderr separate keeps NDJSON pure).
+};
+
+RunOutcome run_shell(const std::string& cmd) {
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  RunOutcome outcome;
+  if (pipe == nullptr) return outcome;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    outcome.output.append(buf.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  outcome.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return outcome;
+}
+
+RunOutcome run_batch(const std::string& args) {
+  return run_shell(std::string(COVEST_BATCH_TOOL_PATH) + " " + args +
+                   " 2>/dev/null");
+}
+
+std::string model_path(const char* name) {
+  return std::string(COVEST_SOURCE_DIR) + "/examples/models/" + name;
+}
+
+/// Writes a manifest of the given lines into the test's temp dir.
+std::string write_manifest(const std::vector<std::string>& lines) {
+  const std::string path =
+      ::testing::TempDir() + "covest_batch_manifest.txt";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "# test manifest\n\n";
+  for (const std::string& l : lines) out << l << "\n";
+  return path;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(begin));
+      break;
+    }
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+TEST(CovestBatchCliTest, ManifestModeEmitsOneValidJsonLinePerModel) {
+  const std::string manifest = write_manifest(
+      {model_path("counter.cov"), model_path("arbiter.cov"),
+       model_path("handshake.cov"), model_path("shift.cov"),
+       model_path("traffic.cov")});
+  const RunOutcome r = run_batch("--jobs 2 " + manifest);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  const std::vector<std::string> lines = split_lines(r.output);
+  ASSERT_EQ(lines.size(), 5u);
+  const char* names[] = {"counter", "arbiter", "handshake", "shift",
+                         "traffic"};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string err;
+    EXPECT_TRUE(engine::validate_json(lines[i] + "\n", &err))
+        << err << "\n" << lines[i];
+    EXPECT_NE(lines[i].find(std::string("\"name\":\"") + names[i] + "\""),
+              std::string::npos)
+        << "line " << i << " out of order: " << lines[i];
+  }
+}
+
+TEST(CovestBatchCliTest, JobsFourIsByteIdenticalToJobsOne) {
+  // The CLI face of the determinism satellite: the whole NDJSON stream
+  // (rows, percentages, holes) must not depend on the worker count.
+  const std::string manifest = write_manifest(
+      {model_path("counter.cov"), model_path("arbiter.cov")});
+  const RunOutcome serial = run_batch("--jobs 1 " + manifest);
+  const RunOutcome parallel = run_batch("--jobs 4 " + manifest);
+  const RunOutcome sharded = run_batch("--jobs 4 --shards 3 " + manifest);
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(parallel.exit_code, 0);
+  EXPECT_EQ(sharded.exit_code, 0);
+  EXPECT_EQ(serial.output, parallel.output);
+  EXPECT_EQ(serial.output, sharded.output);
+}
+
+TEST(CovestBatchCliTest, BatchLinesMatchTheSerialEngineByteForByte) {
+  // One NDJSON line == the serial engine's deterministic serialization
+  // of the same request: the acceptance parity between covest_batch and
+  // coverage_tool's engine output.
+  const std::string manifest = write_manifest(
+      {model_path("counter.cov"), model_path("traffic.cov")});
+  const RunOutcome batch = run_batch("--jobs 4 " + manifest);
+  ASSERT_EQ(batch.exit_code, 0);
+
+  std::string expected;
+  for (const char* name : {"counter.cov", "traffic.cov"}) {
+    engine::CoverageRequest req;
+    req.model_path = model_path(name);
+    engine::JsonOptions opts;
+    opts.pretty = false;
+    opts.include_stats = false;
+    expected += engine::to_json(engine::Engine().run(req), opts);
+  }
+  EXPECT_EQ(batch.output, expected);
+}
+
+TEST(CovestBatchCliTest, StdinNdjsonRequestsRunInOrder) {
+  const std::string requests =
+      "{\"model_path\": \"" + model_path("traffic.cov") + "\"}\n" +
+      "{\"model_path\": \"" + model_path("counter.cov") + "\", "
+      "\"uncovered_limit\": 0}\n";
+  const RunOutcome r = run_shell(
+      "printf '%s' '" + requests + "' | " + COVEST_BATCH_TOOL_PATH +
+      " --jobs 2 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::vector<std::string> lines = split_lines(r.output);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"name\":\"traffic\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"counter\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"uncovered\":[]"), std::string::npos);
+}
+
+TEST(CovestBatchCliTest, StdinKeepsLinePairingForCommentLikeGarbage) {
+  // Stdin is a machine contract: a '#' line is not silently skipped (as
+  // in hand-written manifests) but answered with an error line, so
+  // request i always pairs with output line i.
+  const std::string input =
+      "# not a comment on stdin\n"
+      "{\"model_path\": \"" + model_path("counter.cov") + "\"}\n";
+  const RunOutcome r = run_shell(
+      "printf '%s' '" + input + "' | " + COVEST_BATCH_TOOL_PATH +
+      " 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 1);
+  const std::vector<std::string> lines = split_lines(r.output);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"error\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"name\":\"counter\""), std::string::npos);
+}
+
+TEST(CovestBatchCliTest, RelativePathsResolveAgainstTheManifestDir) {
+  // Bare path lines and JSON model_path fields follow the same rule, so
+  // one manifest works from any working directory.
+  const std::string dir = ::testing::TempDir();
+  {
+    std::ifstream src(model_path("counter.cov"), std::ios::binary);
+    std::ofstream dst(dir + "counter.cov", std::ios::binary);
+    dst << src.rdbuf();
+  }
+  const std::string manifest = dir + "relative_manifest.txt";
+  {
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out << "counter.cov\n";
+    out << "{\"model_path\": \"counter.cov\"}\n";
+  }
+  const RunOutcome r = run_batch(manifest);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::vector<std::string> lines = split_lines(r.output);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], lines[1]);  // Same model, same request defaults.
+  EXPECT_NE(lines[0].find("\"name\":\"counter\""), std::string::npos);
+}
+
+TEST(CovestBatchCliTest, BadJobsAreErrorLinesAndNonzeroExit) {
+  // A missing model file and an unparsable request line both produce a
+  // structured error line in place, without aborting the other jobs.
+  const std::string manifest = write_manifest(
+      {"/nonexistent/model.cov", model_path("counter.cov"),
+       "{\"this is\": not json"});
+  const RunOutcome r = run_batch("--jobs 2 " + manifest);
+  EXPECT_EQ(r.exit_code, 1);
+  const std::vector<std::string> lines = split_lines(r.output);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"error\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"name\":\"counter\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"error\""), std::string::npos) << lines[2];
+  for (const std::string& line : lines) {
+    std::string err;
+    EXPECT_TRUE(engine::validate_json(line + "\n", &err)) << err;
+  }
+}
+
+TEST(CovestBatchCliTest, RequestValidationErrorsSurfacePerJob) {
+  const std::string requests =
+      "{\"model_path\": \"" + model_path("counter.cov") +
+      "\", \"signals\": [\"bogus\"]}\n";
+  const RunOutcome r = run_shell(
+      "printf '%s' '" + requests + "' | " + COVEST_BATCH_TOOL_PATH +
+      " 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("bogus"), std::string::npos) << r.output;
+}
+
+TEST(CovestBatchCliTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_batch("--jobs nope /dev/null").exit_code, 2);
+  EXPECT_EQ(run_batch("--shards 0 /dev/null").exit_code, 2);
+  EXPECT_EQ(run_batch("--bogus-flag /dev/null").exit_code, 2);
+  EXPECT_EQ(run_batch("/nonexistent/manifest.txt").exit_code, 2);
+  EXPECT_EQ(run_batch("a.txt b.txt").exit_code, 2);
+}
+
+TEST(CovestBatchCliTest, EmptyStdinIsAnEmptySuccessfulBatch) {
+  const RunOutcome r = run_shell(std::string(": | ") +
+                                 COVEST_BATCH_TOOL_PATH + " 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(r.output.empty()) << r.output;
+}
+
+#else
+
+TEST(CovestBatchCliTest, DISABLED_NeedsBatchBinary) {}
+
+#endif
+
+}  // namespace
+}  // namespace covest

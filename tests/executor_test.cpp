@@ -1,0 +1,422 @@
+// The async multi-worker executor: submit/wait round-trips, deterministic
+// ordering, bit-identical parity with the serial engine (including
+// signal-sharded suites), streaming job events, cancellation, structured
+// per-job errors, and the BDD thread-affinity hand-off.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "engine/engine.h"
+#include "engine/executor.h"
+#include "engine/result_json.h"
+#include "model/model_parser.h"
+
+namespace covest {
+namespace {
+
+using engine::CoverageRequest;
+using engine::Engine;
+using engine::Executor;
+using engine::ExecutorOptions;
+using engine::JobEvent;
+using engine::JobHandle;
+using engine::JobHooks;
+using engine::Progress;
+using engine::SuiteResult;
+
+std::string model_path(const char* name) {
+  return std::string(COVEST_SOURCE_DIR) + "/examples/models/" + name;
+}
+
+/// Deterministic serialization (no stats) — the byte-level identity the
+/// sharded and parallel paths are held to.
+std::string canonical(const SuiteResult& r) {
+  engine::JsonOptions opts;
+  opts.include_stats = false;
+  return engine::to_json(r, opts);
+}
+
+CoverageRequest path_request(const char* name) {
+  CoverageRequest req;
+  req.model_path = model_path(name);
+  return req;
+}
+
+// --------------------------------------------------------------------------
+// Parity and ordering
+// --------------------------------------------------------------------------
+
+TEST(ExecutorTest, SubmitWaitMatchesSerialEngine) {
+  CoverageRequest req = path_request("arbiter.cov");
+  const SuiteResult serial = Engine().run(req);
+
+  Executor ex{ExecutorOptions{2, nullptr}};
+  JobHandle handle = ex.submit(req);
+  handle.wait();
+  EXPECT_TRUE(handle.done());
+  const SuiteResult parallel = handle.take();
+
+  EXPECT_TRUE(parallel.error.empty()) << parallel.error;
+  EXPECT_EQ(canonical(parallel), canonical(serial));
+}
+
+TEST(ExecutorTest, RunAllReturnsResultsInSubmitOrder) {
+  const char* models[] = {"counter.cov", "arbiter.cov", "handshake.cov",
+                          "shift.cov",   "traffic.cov", "counter.cov",
+                          "arbiter.cov", "shift.cov"};
+  std::vector<CoverageRequest> requests;
+  std::vector<std::string> expected;
+  for (const char* m : models) {
+    requests.push_back(path_request(m));
+    expected.push_back(canonical(Engine().run(requests.back())));
+  }
+
+  Executor ex{ExecutorOptions{4, nullptr}};
+  const std::vector<SuiteResult> results = ex.run_all(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(canonical(results[i]), expected[i]) << "request " << i;
+  }
+}
+
+TEST(ExecutorTest, FourWorkersMatchOneWorkerByteForByte) {
+  // The satellite determinism contract: --jobs 4 rows == --jobs 1 rows
+  // for counter.cov and arbiter.cov.
+  for (const char* m : {"counter.cov", "arbiter.cov"}) {
+    std::vector<CoverageRequest> requests(4, path_request(m));
+    Executor one{ExecutorOptions{1, nullptr}};
+    Executor four{ExecutorOptions{4, nullptr}};
+    const std::vector<SuiteResult> serial = one.run_all(requests);
+    const std::vector<SuiteResult> parallel = four.run_all(requests);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(canonical(parallel[i]), canonical(serial[i])) << m;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Signal sharding
+// --------------------------------------------------------------------------
+
+TEST(ExecutorShardingTest, ShardedSuiteIsBitIdenticalToSerial) {
+  for (const std::size_t shards : {2u, 3u, 8u}) {
+    CoverageRequest req = path_request("arbiter.cov");
+    req.want_traces = true;
+    const std::string serial = canonical(Engine().run(req));
+
+    req.shards = shards;
+    Executor ex{ExecutorOptions{4, nullptr}};
+    const SuiteResult sharded = ex.submit(req).take();
+    EXPECT_TRUE(sharded.error.empty()) << sharded.error;
+    EXPECT_EQ(canonical(sharded), serial) << "shards=" << shards;
+  }
+}
+
+TEST(ExecutorShardingTest, ShardedCoveredHandlesStayLive) {
+  // Rows merged from different shard sessions keep their covered-set
+  // handles valid: the merged result retains every shard session, and
+  // take() rebinds all managers to the consuming thread.
+  CoverageRequest req = path_request("arbiter.cov");
+  req.shards = 2;
+  Executor ex{ExecutorOptions{2, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  ASSERT_EQ(r.signals.size(), 2u);
+  for (const engine::SignalRow& row : r.signals) {
+    ASSERT_TRUE(row.covered.valid());
+    EXPECT_FALSE(row.covered.is_false());
+    // Composing with the handle exercises node construction on this
+    // thread — the debug affinity guard must accept it after rebind.
+    const bdd::Bdd complement = !row.covered;
+    EXPECT_FALSE((row.covered & complement).is_true());
+  }
+}
+
+TEST(ExecutorShardingTest, MoreShardsThanSignalsIsHarmless) {
+  CoverageRequest req = path_request("counter.cov");  // One signal row.
+  req.shards = 6;
+  Executor ex{ExecutorOptions{2, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  ASSERT_EQ(r.signals.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.signals[0].percent, 80.0);
+}
+
+TEST(ExecutorShardingTest, AbsurdShardCountsAreClampedToThePool) {
+  // An untrusted NDJSON request must not translate a huge shards value
+  // into unbounded task allocation: shards clamp to the worker count.
+  CoverageRequest req = path_request("arbiter.cov");
+  req.shards = 1000000000;
+  Executor ex{ExecutorOptions{2, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  ASSERT_EQ(r.signals.size(), 2u);
+  EXPECT_EQ(canonical(r), canonical(Engine().run(path_request("arbiter.cov"))));
+}
+
+// --------------------------------------------------------------------------
+// Events
+// --------------------------------------------------------------------------
+
+TEST(ExecutorEventsTest, LifecycleEventsArriveInOrder) {
+  std::mutex mu;
+  std::vector<JobEvent> events;
+  JobHooks hooks;
+  hooks.on_event = [&](const JobEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(e);
+  };
+
+  Executor ex{ExecutorOptions{1, nullptr}};
+  ex.submit(path_request("handshake.cov"), hooks).take();
+
+  std::lock_guard<std::mutex> lock(mu);
+  // queued, started, 3 properties, estimating, 1 row, finished.
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events[0].kind, JobEvent::Kind::kQueued);
+  EXPECT_EQ(events[1].kind, JobEvent::Kind::kStarted);
+  for (int i = 2; i <= 4; ++i) {
+    EXPECT_EQ(events[i].kind, JobEvent::Kind::kVerifying);
+    EXPECT_EQ(events[i].progress.index, static_cast<std::size_t>(i - 1));
+    EXPECT_EQ(events[i].progress.total, 3u);
+    EXPECT_TRUE(events[i].progress.ok);
+  }
+  EXPECT_EQ(events[5].kind, JobEvent::Kind::kEstimating);
+  EXPECT_EQ(events[6].kind, JobEvent::Kind::kRowDone);
+  EXPECT_EQ(events[6].progress.item, "ack");
+  EXPECT_DOUBLE_EQ(events[6].progress.percent, 100.0);
+  EXPECT_EQ(events[7].kind, JobEvent::Kind::kFinished);
+  EXPECT_FALSE(events[7].cancelled);
+  EXPECT_TRUE(events[7].error.empty());
+  for (const JobEvent& e : events) EXPECT_EQ(e.job, events[0].job);
+}
+
+TEST(ExecutorEventsTest, ThrowingEventCallbacksAreSwallowed) {
+  // An event tap is fire-and-forget: a throwing callback must neither
+  // kill a worker thread nor fail the job.
+  JobHooks hooks;
+  hooks.on_event = [](const JobEvent&) { throw std::runtime_error("tap"); };
+  ExecutorOptions options;
+  options.workers = 2;
+  options.on_event = [](const JobEvent&) { throw 42; };
+  Executor ex(std::move(options));
+  const SuiteResult r = ex.submit(path_request("counter.cov"), hooks).take();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  ASSERT_EQ(r.signals.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.signals[0].percent, 80.0);
+}
+
+TEST(ExecutorEventsTest, ExecutorWideTapSeesEveryJob) {
+  std::mutex mu;
+  std::size_t queued = 0, finished = 0;
+  ExecutorOptions options;
+  options.workers = 2;
+  options.on_event = [&](const JobEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (e.kind == JobEvent::Kind::kQueued) ++queued;
+    if (e.kind == JobEvent::Kind::kFinished) ++finished;
+  };
+  Executor ex(std::move(options));
+  ex.run_all({path_request("counter.cov"), path_request("shift.cov"),
+              path_request("traffic.cov")});
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(queued, 3u);
+  EXPECT_EQ(finished, 3u);
+}
+
+// --------------------------------------------------------------------------
+// Cancellation
+// --------------------------------------------------------------------------
+
+TEST(ExecutorCancelTest, CancellingAQueuedJobSkipsItsRun) {
+  Executor ex{ExecutorOptions{1, nullptr}};
+
+  // Job A blocks the single worker until job B has been cancelled, so
+  // B is deterministically still queued when the cancel lands.
+  std::atomic<bool> b_cancelled{false};
+  JobHooks gate;
+  gate.on_progress = [&](const Progress&) {
+    while (!b_cancelled.load()) std::this_thread::yield();
+    return true;
+  };
+  JobHandle a = ex.submit(path_request("counter.cov"), gate);
+  JobHandle b = ex.submit(path_request("arbiter.cov"));
+  b.cancel();
+  b_cancelled.store(true);
+
+  const SuiteResult rb = b.take();
+  EXPECT_TRUE(rb.cancelled);
+  EXPECT_TRUE(rb.signals.empty());
+  const SuiteResult ra = a.take();
+  EXPECT_FALSE(ra.cancelled);
+  EXPECT_EQ(ra.signals.size(), 1u);
+}
+
+TEST(ExecutorCancelTest, ProgressHookCancelsLikeTheFacade) {
+  JobHooks hooks;
+  hooks.on_progress = [](const Progress& p) {
+    return p.phase != Progress::Phase::kEstimate;
+  };
+  Executor ex{ExecutorOptions{2, nullptr}};
+  const SuiteResult r = ex.submit(path_request("handshake.cov"), hooks).take();
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.properties.size(), 3u);  // Verification completed.
+  EXPECT_EQ(r.signals.size(), 1u);     // First row, then stopped.
+}
+
+TEST(ExecutorCancelTest, CancelAllReachesQueuedJobs) {
+  Executor ex{ExecutorOptions{1, nullptr}};
+  std::atomic<bool> release{false};
+  JobHooks gate;
+  gate.on_progress = [&](const Progress&) {
+    while (!release.load()) std::this_thread::yield();
+    return true;
+  };
+  JobHandle first = ex.submit(path_request("counter.cov"), gate);
+  std::vector<JobHandle> rest;
+  for (int i = 0; i < 3; ++i) rest.push_back(ex.submit(path_request("arbiter.cov")));
+
+  EXPECT_GE(ex.cancel_all(), 3u);
+  release.store(true);
+
+  for (const JobHandle& h : rest) {
+    EXPECT_TRUE(h.take().cancelled);
+  }
+  first.take();  // Gated job finishes too (cancelled mid-run or not).
+}
+
+// --------------------------------------------------------------------------
+// Structured per-job errors (never a throw out of a worker)
+// --------------------------------------------------------------------------
+
+TEST(ExecutorErrorTest, MissingModelSourceIsAStructuredError) {
+  Executor ex{ExecutorOptions{1, nullptr}};
+  const SuiteResult r = ex.submit(CoverageRequest{}).take();
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_NE(r.error.find("model"), std::string::npos);
+  EXPECT_FALSE(r.all_passed());
+}
+
+TEST(ExecutorErrorTest, UnknownSignalNameIsAStructuredError) {
+  CoverageRequest req = path_request("counter.cov");
+  req.signals = {"count", "bogus_signal"};
+  Executor ex{ExecutorOptions{2, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_NE(r.error.find("bogus_signal"), std::string::npos) << r.error;
+}
+
+TEST(ExecutorErrorTest, ShardedErrorsAreErrorOnlyLikeSerial) {
+  // A defect in any shard's rows makes the whole job error-only: no
+  // partial rows from sibling shards, byte-identical to the serial
+  // error result (the documented sharding determinism contract).
+  CoverageRequest req = path_request("counter.cov");
+  req.signals = {"count", "count", "bogus_signal"};
+
+  Executor serial{ExecutorOptions{1, nullptr}};
+  CoverageRequest serial_req = req;
+  const SuiteResult expect = serial.submit(serial_req).take();
+  ASSERT_FALSE(expect.error.empty());
+  EXPECT_TRUE(expect.signals.empty());
+
+  req.shards = 3;
+  Executor ex{ExecutorOptions{4, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_TRUE(r.signals.empty());
+  EXPECT_FALSE(r.cancelled);  // An aborted sibling is not a user cancel.
+  EXPECT_EQ(canonical(r), canonical(expect));
+}
+
+TEST(ExecutorErrorTest, UnparsableCtlTextIsAStructuredError) {
+  CoverageRequest req = path_request("counter.cov");
+  req.properties = {engine::PropertySpec::text("AG ((count ==")};
+  Executor ex{ExecutorOptions{1, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_NE(r.error.find("AG ((count =="), std::string::npos) << r.error;
+}
+
+TEST(ExecutorErrorTest, UnreadableModelFileIsAStructuredError) {
+  CoverageRequest req;
+  req.model_path = "/nonexistent/model.cov";
+  Executor ex{ExecutorOptions{1, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(ExecutorErrorTest, BadInlineModelSourceIsAStructuredError) {
+  CoverageRequest req;
+  req.model_source = "MODULE broken; VAR x :";
+  Executor ex{ExecutorOptions{1, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(ExecutorErrorTest, ErrorSurvivesJsonSerialization) {
+  Executor ex{ExecutorOptions{1, nullptr}};
+  const SuiteResult r = ex.submit(CoverageRequest{}).take();
+  const std::string json = canonical(r);
+  std::string err;
+  EXPECT_TRUE(engine::validate_json(json, &err)) << err;
+  EXPECT_NE(json.find("\"error\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Model-source precedence and the inline source path
+// --------------------------------------------------------------------------
+
+TEST(ExecutorTest, InlineModelSourceRunsLikeAFile) {
+  CoverageRequest req;
+  req.model_source = R"(
+MODULE inline_counter;
+VAR   x : bool;
+IVAR  t : bool;
+INIT  x := false;
+NEXT  x := t ? !x : x;
+SPEC AG (x & !t -> AX x) OBSERVE x;
+)";
+  Executor ex{ExecutorOptions{1, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.model_name, "inline_counter");
+  ASSERT_EQ(r.signals.size(), 1u);
+  EXPECT_GT(r.signals[0].percent, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Thread-affinity guard
+// --------------------------------------------------------------------------
+
+TEST(ThreadAffinityTest, TakeRebindsManagersToTheConsumer) {
+  Executor ex{ExecutorOptions{2, nullptr}};
+  const SuiteResult r = ex.submit(path_request("arbiter.cov")).take();
+  ASSERT_FALSE(r.signals.empty());
+  const bdd::Bdd& covered = r.signals[0].covered;
+  ASSERT_TRUE(covered.valid());
+  EXPECT_EQ(covered.manager()->owner_thread(), std::this_thread::get_id());
+  // Node construction on the consuming thread is now legal.
+  const bdd::Bdd sum = covered | !covered;
+  EXPECT_TRUE(sum.is_true());
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(ThreadAffinityDeathTest, ForeignThreadNodeConstructionAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        bdd::BddManager mgr(2);
+        std::thread misuse([&mgr] { (void)(mgr.var(0) & mgr.var(1)); });
+        misuse.join();
+      },
+      "foreign thread");
+}
+#endif
+
+}  // namespace
+}  // namespace covest

@@ -1,0 +1,290 @@
+// The CoverageRequest JSON round-trip: canonical-form golden files
+// (parse -> serialize -> byte-identical), programmatic field round-trips,
+// and the malformed-input rejection table.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "engine/request_json.h"
+#include "engine/result_json.h"
+#include "model/model.h"
+
+namespace covest {
+namespace {
+
+using engine::CoverageRequest;
+using engine::JsonOptions;
+using engine::PropertySpec;
+
+// --------------------------------------------------------------------------
+// Programmatic round-trips
+// --------------------------------------------------------------------------
+
+CoverageRequest sample_request() {
+  CoverageRequest req;
+  req.model_path = "examples/models/arbiter.cov";
+  req.properties.push_back(
+      PropertySpec::text("AG (!(g0 & g1))", {"g0", "g1"}));
+  req.properties.back().comment = "mutual exclusion";
+  req.properties.push_back(PropertySpec::text("AG (r0 & !r1 -> AX g0)"));
+  req.signals = {"g0", "g1"};
+  req.options.restrict_to_fair = false;
+  req.skip_failing = true;
+  req.uncovered_limit = 7;
+  req.want_traces = true;
+  req.shards = 3;
+  return req;
+}
+
+void expect_same_request(const CoverageRequest& a, const CoverageRequest& b) {
+  EXPECT_EQ(a.model_path, b.model_path);
+  EXPECT_EQ(a.model_source, b.model_source);
+  ASSERT_EQ(a.properties.size(), b.properties.size());
+  for (std::size_t i = 0; i < a.properties.size(); ++i) {
+    EXPECT_EQ(a.properties[i].ctl_text, b.properties[i].ctl_text);
+    EXPECT_EQ(a.properties[i].observe, b.properties[i].observe);
+    EXPECT_EQ(a.properties[i].comment, b.properties[i].comment);
+  }
+  EXPECT_EQ(a.signals, b.signals);
+  EXPECT_EQ(a.options.restrict_to_fair, b.options.restrict_to_fair);
+  EXPECT_EQ(a.options.exclude_dontcares, b.options.exclude_dontcares);
+  EXPECT_EQ(a.skip_failing, b.skip_failing);
+  EXPECT_EQ(a.uncovered_limit, b.uncovered_limit);
+  EXPECT_EQ(a.want_traces, b.want_traces);
+  EXPECT_EQ(a.shards, b.shards);
+}
+
+TEST(RequestJsonTest, FieldsSurviveTheRoundTrip) {
+  const CoverageRequest original = sample_request();
+  for (const bool pretty : {true, false}) {
+    JsonOptions opts;
+    opts.pretty = pretty;
+    const std::string json = engine::to_json(original, opts);
+    std::string err;
+    ASSERT_TRUE(engine::validate_json(json, &err)) << err << "\n" << json;
+    expect_same_request(engine::request_from_json(json), original);
+  }
+}
+
+TEST(RequestJsonTest, CompactFormIsOneNdjsonLine) {
+  JsonOptions opts;
+  opts.pretty = false;
+  const std::string json = engine::to_json(sample_request(), opts);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_EQ(json.find('\n'), json.size() - 1);  // No interior newlines.
+}
+
+TEST(RequestJsonTest, SerializeThenParseIsIdempotent) {
+  // Canonical form is a fixed point: parse(serialize(r)) serializes to
+  // the same bytes.
+  const std::string once = engine::to_json(sample_request());
+  const std::string twice =
+      engine::to_json(engine::request_from_json(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(RequestJsonTest, InlineModelSourceRoundTrips) {
+  CoverageRequest req;
+  req.model_source =
+      "MODULE m;\nVAR x : bool;\nINIT x := false;\nNEXT x := !x;\n"
+      "SPEC AG (x | !x) OBSERVE x;\n";
+  req.signals = {"x"};
+  const std::string json = engine::to_json(req);
+  const CoverageRequest back = engine::request_from_json(json);
+  EXPECT_EQ(back.model_source, req.model_source);
+  EXPECT_EQ(engine::to_json(back), json);
+}
+
+TEST(RequestJsonTest, MinimalInputGetsDefaults) {
+  const CoverageRequest req = engine::request_from_json(
+      R"({"model_path": "m.cov"})");
+  EXPECT_EQ(req.model_path, "m.cov");
+  EXPECT_TRUE(req.properties.empty());
+  EXPECT_TRUE(req.signals.empty());
+  EXPECT_TRUE(req.options.restrict_to_fair);
+  EXPECT_TRUE(req.options.exclude_dontcares);
+  EXPECT_FALSE(req.skip_failing);
+  EXPECT_EQ(req.uncovered_limit, 4u);
+  EXPECT_FALSE(req.want_traces);
+  EXPECT_EQ(req.shards, 1u);
+}
+
+TEST(RequestJsonTest, InMemoryModelRefusesToSerialize) {
+  CoverageRequest req;
+  req.model.emplace();
+  EXPECT_THROW(engine::to_json(req), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Malformed-input rejection table
+// --------------------------------------------------------------------------
+
+TEST(RequestJsonTest, RejectsMalformedInputs) {
+  const char* bad[] = {
+      "",                                     // Empty.
+      "not json",                             // Not JSON at all.
+      "[]",                                   // Not an object.
+      "\"model_path\"",                       // Not an object.
+      "{",                                    // Truncated.
+      R"({"model_path": "m.cov",})",          // Trailing comma.
+      R"({"model_path": 7})",                 // Wrong type: path.
+      R"({"model": false})",                  // Wrong type: source.
+      R"({"signals": "g0"})",                 // Wrong type: signals.
+      R"({"signals": [1]})",                  // Wrong element type.
+      R"({"properties": {}})",                // Wrong type: properties.
+      R"({"properties": ["AG x"]})",          // Entries must be objects.
+      R"({"properties": [{"observe": []}]})", // Missing ctl.
+      R"({"properties": [{"ctl": "AG x", "extra": 1}]})",  // Unknown key.
+      R"({"options": []})",                   // Wrong type: options.
+      R"({"options": {"fairness": true}})",   // Unknown option key.
+      R"({"skip_failing": "yes"})",           // Wrong type: bool.
+      R"({"uncovered_limit": -1})",           // Negative count.
+      R"({"uncovered_limit": 1.5})",          // Fractional count.
+      R"({"uncovered_limit": true})",         // Wrong type: count.
+      R"({"shards": 0})",                     // Sharding needs >= 1.
+      R"({"model_path": "m.cov"} trailing)",  // Trailing content.
+      R"({"modle_path": "m.cov"})",           // Unknown top-level key.
+      // Duplicate keys: the document describes two jobs at once.
+      R"({"model_path": "a.cov", "model_path": "b.cov"})",
+      R"json({"properties": [], "properties": [{"ctl": "AG (x)"}]})json",
+      R"({"options": {"restrict_to_fair": true, "restrict_to_fair": false}})",
+      R"json({"properties": [{"ctl": "AG (x)", "ctl": "AG (y)"}]})json",
+  };
+  for (const char* text : bad) {
+    CoverageRequest out;
+    std::string error;
+    EXPECT_FALSE(engine::parse_request(text, &out, &error))
+        << "accepted: " << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(RequestJsonTest, HostileNestingDepthIsRejectedNotACrash) {
+  // One untrusted NDJSON line of brackets must produce a parse error,
+  // not a stack overflow of the whole batch process.
+  std::string bomb = "{\"signals\": ";
+  bomb.append(50000, '[');
+  bomb.append(50000, ']');
+  bomb += "}";
+  CoverageRequest out;
+  std::string err;
+  EXPECT_FALSE(engine::parse_request(bomb, &out, &err));
+  EXPECT_NE(err.find("nesting too deep"), std::string::npos) << err;
+  EXPECT_FALSE(engine::validate_json(bomb, &err));
+  // Sane nesting still parses.
+  EXPECT_TRUE(engine::validate_json("[[[[[[[[[[1]]]]]]]]]]", &err)) << err;
+}
+
+TEST(RequestJsonTest, HugeNumbersValidateWithoutThrowing) {
+  // RFC 8259 puts no bound on number magnitude: grammar-valid tokens
+  // must saturate, not throw out of the non-throwing validator.
+  std::string err;
+  EXPECT_TRUE(engine::validate_json("[1e999, -1e999, 1e-999]", &err)) << err;
+  // But a saturated magnitude is not a valid count for the schema.
+  CoverageRequest out;
+  EXPECT_FALSE(engine::parse_request(R"({"uncovered_limit": 1e999})", &out,
+                                     &err));
+}
+
+TEST(RequestJsonTest, SurrogatePairsDecodeLoneSurrogatesDoNot) {
+  // json.dumps(ensure_ascii=True) encodes non-BMP characters as
+  // surrogate pairs; those are valid input. Lone surrogates are not.
+  const CoverageRequest req = engine::request_from_json(
+      "{\"model_path\": \"x\\ud83d\\udca5.cov\"}");
+  EXPECT_EQ(req.model_path, "x\xf0\x9f\x92\xa5.cov");
+
+  CoverageRequest out;
+  std::string err;
+  EXPECT_FALSE(engine::parse_request(R"({"model_path": "\ud83d"})", &out,
+                                     &err));
+  EXPECT_FALSE(engine::parse_request(R"({"model_path": "\udca5"})", &out,
+                                     &err));
+}
+
+TEST(RequestJsonTest, AcceptsFieldOrderVariations) {
+  const CoverageRequest req = engine::request_from_json(R"json({
+    "shards": 2,
+    "signals": ["count"],
+    "model_path": "counter.cov",
+    "properties": [{"comment": "c", "observe": ["count"],
+                    "ctl": "AG (count == 0 -> AX (count == 1))"}]
+  })json");
+  EXPECT_EQ(req.shards, 2u);
+  EXPECT_EQ(req.model_path, "counter.cov");
+  ASSERT_EQ(req.properties.size(), 1u);
+  EXPECT_EQ(req.properties[0].comment, "c");
+}
+
+// --------------------------------------------------------------------------
+// Golden files: the canonical serialization is a fixed byte contract.
+// Regenerate with COVEST_REGEN_GOLDEN=1 ./request_json_test
+// --------------------------------------------------------------------------
+
+class GoldenRequestTest : public ::testing::Test {
+ protected:
+  static std::string golden_path(const std::string& name) {
+    return std::string(COVEST_SOURCE_DIR) + "/tests/golden/" + name;
+  }
+
+  static void compare_or_regen(const std::string& name,
+                               const std::string& actual) {
+    const std::string path = golden_path(name);
+    if (std::getenv("COVEST_REGEN_GOLDEN") != nullptr) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path;
+    std::ostringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual, expected.str()) << "golden mismatch for " << name;
+  }
+
+  /// The round-trip contract: the golden file parses, and re-serializing
+  /// the parsed request reproduces the file byte for byte.
+  static void check_round_trip(const std::string& name,
+                               const CoverageRequest& request) {
+    compare_or_regen(name, engine::to_json(request));
+    const std::string path = golden_path(name);
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "missing golden file " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const CoverageRequest parsed = engine::request_from_json(text.str());
+    EXPECT_EQ(engine::to_json(parsed), text.str())
+        << "parse -> serialize is not byte-identical for " << name;
+  }
+};
+
+TEST_F(GoldenRequestTest, PathRequest) {
+  CoverageRequest req;
+  req.model_path = "examples/models/counter.cov";
+  req.want_traces = true;
+  check_round_trip("request_counter.json", req);
+}
+
+TEST_F(GoldenRequestTest, FullRequestWithInlineModelAndSharding) {
+  CoverageRequest req;
+  req.model_source =
+      "MODULE gate;\nVAR q : bool;\nIVAR en : bool;\n"
+      "INIT q := false;\nNEXT q := en ? !q : q;\n";
+  req.properties.push_back(PropertySpec::text("AG (q & !en -> AX q)", {"q"}));
+  req.properties.back().comment = "hold";
+  req.properties.push_back(PropertySpec::text("AG (!q & !en -> AX !q)", {"q"}));
+  req.signals = {"q"};
+  req.options.exclude_dontcares = false;
+  req.skip_failing = true;
+  req.uncovered_limit = 2;
+  req.shards = 2;
+  check_round_trip("request_sharded_inline.json", req);
+}
+
+}  // namespace
+}  // namespace covest
