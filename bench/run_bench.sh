@@ -5,7 +5,16 @@
 #                       cache_hit_rate counters)
 #   BENCH_engine.json — engine-layer suite throughput (suites/sec over
 #                       the example-model manifest at --jobs 1, 2, 4,
-#                       via bench/engine_throughput and the executor)
+#                       via bench/engine_throughput and the executor),
+#                       plus the intra-suite sharding comparison:
+#                       shard_mode shared_manager (verify once, rows on
+#                       K threads over one shared BddManager) vs
+#                       replicated (every shard re-verifies). On boxes
+#                       with few hardware threads the wall-clock columns
+#                       mostly measure scheduling overhead — the file
+#                       carries a "note" and the per-entry verify_passes
+#                       counters, which show the work saved regardless
+#                       of core count.
 #
 # Usage: bench/run_bench.sh [build_dir] [output_json]
 set -euo pipefail
@@ -33,10 +42,12 @@ fi
 echo "wrote ${OUT_JSON}"
 
 # Engine-layer suite throughput: every example model's default suite,
-# repeated, fanned out through the executor at 1/2/4 workers.
+# repeated, fanned out through the executor at 1/2/4 workers, then the
+# shards=4 shared_manager-vs-replicated comparison.
 "${BUILD_DIR}/engine_throughput" \
   --repeat "${ENGINE_REPEAT}" \
   --jobs 1,2,4 \
+  --shards 4 \
   --out "${ENGINE_OUT_JSON}" \
   "${REPO_ROOT}"/examples/models/*.cov
 

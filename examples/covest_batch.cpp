@@ -49,7 +49,8 @@ void usage(std::FILE* to) {
       "\n"
       "options:\n"
       "  --jobs N     worker threads (default 1; 0 = hardware threads)\n"
-      "  --shards K   split every suite's signal rows across K sessions\n"
+      "  --shards K   verify each suite once, estimate its signal rows\n"
+      "               on up to K threads over one shared manager\n"
       "  --trace      compute hole traces for path-derived requests\n"
       "  --stats      include timing/BDD statistics in the output\n"
       "  --pretty     pretty-print results (not NDJSON)\n");

@@ -1,4 +1,28 @@
-// Node pool, unique tables, reference counting and garbage collection.
+// Node pool, unique tables, reference counting, garbage collection and
+// the shared (sharded) mode machinery.
+//
+// Shared-mode memory model, in one place:
+//
+//  * A node's fields (var/low/high) are written exactly once, before the
+//    node is *published* — linked into its unique-subtable chain under
+//    that variable's stripe lock, or stored into the computed cache
+//    under that slot's stripe lock. Any other thread can only learn the
+//    node's index through one of those locks (or through a root handle
+//    created before the threads were spawned), so every cross-thread
+//    read of node fields is ordered after the initializing writes by a
+//    mutex acquire/release pair or by thread creation/join. Node fields
+//    are never mutated while shared mode is on (reordering and GC are
+//    exclusive-mode operations).
+//  * Segment pointers are published the same way: a segment is
+//    installed under `alloc_mu_` before any slot inside it is handed
+//    out, and slot indices travel only through the synchronized
+//    channels above.
+//  * `allocated_` is an atomic bumped under `alloc_mu_`; traversals
+//    size their per-thread stamp arrays from a relaxed load, which is
+//    safe because every slot reachable from a published edge was
+//    allocated (and counted) before that edge was published.
+//  * External reference counts are relaxed atomics: they only need to
+//    be exact once the threads are joined (GC runs in exclusive mode).
 #include "bdd/bdd.h"
 
 #include <algorithm>
@@ -120,15 +144,15 @@ Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h) {
 }
 
 // ---------------------------------------------------------------------------
-// Manager construction
+// Manager construction and segmented pool
 // ---------------------------------------------------------------------------
 
 BddManager::BddManager(unsigned initial_vars, std::size_t cache_size_log2) {
   // Slot 0 is the unique terminal; TRUE and FALSE are its two edges.
-  nodes_.resize(1);
-  stamps_.resize(1);
-  ext_refs_.resize(1, 1);  // The terminal is permanently referenced.
-  nodes_[0].var = kInvalidVar;
+  ensure_pool(1);
+  allocated_.store(1, std::memory_order_relaxed);
+  node_at(0).var = kInvalidVar;
+  ref_at(0).store(1, std::memory_order_relaxed);  // Permanently referenced.
   cache_max_size_ = std::size_t{1} << cache_size_log2;
   cache_.resize(std::min(cache_max_size_, std::size_t{1} << 12));
   cache_mask_ = cache_.size() - 1;
@@ -138,7 +162,26 @@ BddManager::BddManager(unsigned initial_vars, std::size_t cache_size_log2) {
 
 BddManager::~BddManager() = default;
 
+void BddManager::ensure_pool(std::size_t n) {
+  while (pool_capacity_ < n) {
+    if (num_segments_ >= kMaxSegments) {
+      throw std::length_error("BddManager: node pool exceeds 2^31 slots");
+    }
+    const unsigned seg = num_segments_;
+    const std::size_t size = seg_capacity(seg);
+    node_segs_[seg] = std::make_unique<Node[]>(size);
+    ref_segs_[seg] = std::make_unique<std::atomic<std::uint32_t>[]>(size);
+    node_base_[seg] = node_segs_[seg].get() - seg_base(seg);
+    ref_base_[seg] = ref_segs_[seg].get() - seg_base(seg);
+    // Publish the segment only after it exists (shared-mode readers
+    // reach it through a lock that orders after this function).
+    ++num_segments_;
+    pool_capacity_ += size;
+  }
+}
+
 Var BddManager::new_var(std::string name) {
+  assert(!shared_mode_ && "new_var during shared mode");
   const Var v = static_cast<Var>(var_to_level_.size());
   var_to_level_.push_back(static_cast<unsigned>(level_to_var_.size()));
   level_to_var_.push_back(v);
@@ -147,7 +190,6 @@ Var BddManager::new_var(std::string name) {
   Subtable st;
   st.buckets.assign(64, kInvalidIndex);
   subtables_.push_back(std::move(st));
-  var_gen_.push_back(0);
   return v;
 }
 
@@ -174,6 +216,99 @@ Bdd BddManager::cube(const std::vector<Var>& vars) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared (sharded) mode
+// ---------------------------------------------------------------------------
+
+void BddManager::begin_shared(std::size_t max_threads) {
+  assert(!shared_mode_ && "begin_shared: already in shared mode");
+  assert(owner_thread_ == std::this_thread::get_id() &&
+         "begin_shared must be called by the owning thread");
+  assert(!main_ctx_.in_operation && "begin_shared inside an operation");
+  shard_max_threads_ = std::max<std::size_t>(1, max_threads);
+  shard_ctxs_.clear();
+  shard_ctxs_.reserve(shard_max_threads_);
+  ++shared_epoch_;
+  shared_mode_ = true;
+}
+
+void BddManager::end_shared() {
+  assert(shared_mode_ && "end_shared without begin_shared");
+  shared_mode_ = false;
+  for (const std::unique_ptr<ThreadCtx>& tc : shard_ctxs_) {
+    // Merge the per-thread counter deltas into the manager's stats.
+    stats_.cache_hits += tc->stats.cache_hits;
+    stats_.cache_lookups += tc->stats.cache_lookups;
+    stats_.unique_hits += tc->stats.unique_hits;
+    stats_.unique_misses += tc->stats.unique_misses;
+    stats_.o1_negations += tc->stats.o1_negations;
+    stats_.complement_canonicalizations +=
+        tc->stats.complement_canonicalizations;
+    // Return the unused tail of the thread's arena — and any recycled
+    // slots it claimed but never used — to the free list.
+    for (NodeIndex n = tc->arena_next; n < tc->arena_end; ++n) {
+      assert(node_at(n).var == kInvalidVar);
+      node_at(n).next = free_head_;
+      free_head_ = n;
+      ++free_count_;
+    }
+    for (const NodeIndex n : tc->recycled) {
+      assert(node_at(n).var == kInvalidVar);
+      node_at(n).next = free_head_;
+      free_head_ = n;
+      ++free_count_;
+    }
+  }
+  shard_ctxs_.clear();
+  ++shared_epoch_;
+  owner_thread_ = std::this_thread::get_id();
+}
+
+void BddManager::register_shard_thread() {
+  assert(shared_mode_ && "register_shard_thread outside shared mode");
+  std::lock_guard<std::mutex> lock(shard_reg_mu_);
+  if (shard_ctxs_.size() >= shard_max_threads_) {
+    throw std::logic_error(
+        "BddManager::register_shard_thread: more threads than declared to "
+        "begin_shared");
+  }
+  auto tc = std::make_unique<ThreadCtx>();
+  tc->thread = std::this_thread::get_id();
+  for (const std::unique_ptr<ThreadCtx>& existing : shard_ctxs_) {
+    if (existing->thread == tc->thread) {
+      throw std::logic_error(
+          "BddManager::register_shard_thread: thread already registered");
+    }
+  }
+  shard_ctxs_.push_back(std::move(tc));
+}
+
+BddManager::ThreadCtx& BddManager::shard_ctx() {
+  // One-entry thread-local cache: the common case is a thread working a
+  // long run of operations against one shared manager.
+  thread_local const BddManager* cached_mgr = nullptr;
+  thread_local std::uint64_t cached_epoch = 0;
+  thread_local ThreadCtx* cached_ctx = nullptr;
+  if (cached_mgr == this && cached_epoch == shared_epoch_) {
+    return *cached_ctx;
+  }
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(shard_reg_mu_);
+  for (const std::unique_ptr<ThreadCtx>& tc : shard_ctxs_) {
+    if (tc->thread == self) {
+      cached_mgr = this;
+      cached_epoch = shared_epoch_;
+      cached_ctx = tc.get();
+      return *cached_ctx;
+    }
+  }
+  // The shared-mode analogue of the exclusive-mode affinity assert: an
+  // unregistered thread touching a shared manager is a scheduling bug.
+  throw std::logic_error(
+      "BddManager: shared-mode use from an unregistered thread (call "
+      "register_shard_thread)");
+}
+
+// ---------------------------------------------------------------------------
 // Unique tables and node allocation
 // ---------------------------------------------------------------------------
 
@@ -184,12 +319,6 @@ std::size_t BddManager::subtable_bucket(Var v, NodeIndex low,
 }
 
 NodeIndex BddManager::make_node(Var v, NodeIndex low, NodeIndex high) {
-  // Single-threaded contract: node construction from a thread other than
-  // the owner means two threads are sharing one manager — the unique
-  // tables and the node pool would corrupt silently in release builds.
-  assert(owner_thread_ == std::this_thread::get_id() &&
-         "BddManager used from a foreign thread (see "
-         "rebind_to_current_thread)");
   if (low == high) return low;
   // Canonical form: the stored high edge is never complemented. Negating
   // both children and complementing the resulting edge preserves the
@@ -199,20 +328,56 @@ NodeIndex BddManager::make_node(Var v, NodeIndex low, NodeIndex high) {
     low = edge_not(low);
     high = edge_not(high);
     out_complement = kComplementBit;
-    ++stats_.complement_canonicalizations;
   }
+
+  if (!shared_mode_) {
+    // Exclusive-mode contract: node construction from a thread other
+    // than the owner means two threads are sharing one manager — the
+    // unique tables and the node pool would corrupt silently in release
+    // builds.
+    assert(owner_thread_ == std::this_thread::get_id() &&
+           "BddManager used from a foreign thread (see "
+           "rebind_to_current_thread)");
+    if (out_complement != 0) ++stats_.complement_canonicalizations;
+    Subtable& st = subtables_[v];
+    const std::size_t bucket = subtable_bucket(v, low, high);
+    for (NodeIndex n = st.buckets[bucket]; n != kInvalidIndex;
+         n = node_at(n).next) {
+      if (node_at(n).low == low && node_at(n).high == high) {
+        ++stats_.unique_hits;
+        return n | out_complement;
+      }
+    }
+    ++stats_.unique_misses;
+    const NodeIndex n = allocate_node();
+    Node& node = node_at(n);
+    node.var = v;
+    node.low = low;
+    node.high = high;
+    node.next = st.buckets[bucket];
+    st.buckets[bucket] = n;
+    ++st.count;
+    maybe_resize_subtable(v);
+    return n | out_complement;
+  }
+
+  // Shared mode: the variable's stripe lock covers lookup, insertion and
+  // resize, and doubles as the fence publishing the new node's fields.
+  ThreadCtx& tc = shard_ctx();
+  if (out_complement != 0) ++tc.stats.complement_canonicalizations;
+  std::lock_guard<std::mutex> lock(unique_mu_[v % kUniqueStripes]);
   Subtable& st = subtables_[v];
   const std::size_t bucket = subtable_bucket(v, low, high);
   for (NodeIndex n = st.buckets[bucket]; n != kInvalidIndex;
-       n = nodes_[n].next) {
-    if (nodes_[n].low == low && nodes_[n].high == high) {
-      ++stats_.unique_hits;
+       n = node_at(n).next) {
+    if (node_at(n).low == low && node_at(n).high == high) {
+      ++tc.stats.unique_hits;
       return n | out_complement;
     }
   }
-  ++stats_.unique_misses;
-  const NodeIndex n = allocate_node();
-  Node& node = nodes_[n];
+  ++tc.stats.unique_misses;
+  const NodeIndex n = allocate_node_shared(tc);
+  Node& node = node_at(n);
   node.var = v;
   node.low = low;
   node.high = high;
@@ -226,20 +391,66 @@ NodeIndex BddManager::make_node(Var v, NodeIndex low, NodeIndex high) {
 NodeIndex BddManager::allocate_node() {
   if (free_head_ != kInvalidIndex) {
     const NodeIndex n = free_head_;
-    free_head_ = nodes_[n].next;
+    free_head_ = node_at(n).next;
     --free_count_;
-    ext_refs_[n] = 0;
-    stamps_[n].gen = 0;
-    stamps_[n].scratch = 0;
+    ref_at(n).store(0, std::memory_order_relaxed);
+    // A reused slot may carry a stale-but-valid stamp in the exclusive
+    // context (shared contexts never survive an epoch, so only the main
+    // one can go stale).
+    if (n < main_ctx_.stamps.size()) main_ctx_.stamps[n] = NodeStamp{};
     return n;
   }
-  if (nodes_.size() >= edge_node(kInvalidIndex)) {
+  const NodeIndex next = allocated();
+  if (next >= edge_node(kInvalidIndex)) {
     throw std::length_error("BddManager: node pool exceeds 2^31 slots");
   }
-  nodes_.emplace_back();
-  stamps_.emplace_back();
-  ext_refs_.push_back(0);
-  return static_cast<NodeIndex>(nodes_.size() - 1);
+  ensure_pool(static_cast<std::size_t>(next) + 1);
+  allocated_.store(next + 1, std::memory_order_relaxed);
+  return next;
+}
+
+NodeIndex BddManager::allocate_node_shared(ThreadCtx& tc) {
+  if (!tc.recycled.empty()) {
+    const NodeIndex n = tc.recycled.back();
+    tc.recycled.pop_back();
+    return n;
+  }
+  if (tc.arena_next != tc.arena_end) {
+    // Arena slots are freshly-created segment entries: fields and
+    // refcount are already value-initialized, and no other thread can
+    // see the slot until it is published under the unique-table stripe
+    // lock.
+    return tc.arena_next++;
+  }
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  // Prefer recycling a batch off the free list (slots GC'd before this
+  // shared epoch): repeated shared epochs must not grow the pool while
+  // reusable capacity exists. Free-list slots are unreachable from any
+  // live edge, so no thread's stamps can refer to them — except the
+  // persistent exclusive context, which is reset per slot here (under
+  // alloc_mu_; the owner thread is parked while shards run).
+  while (tc.recycled.size() < kArenaBlock && free_head_ != kInvalidIndex) {
+    const NodeIndex n = free_head_;
+    free_head_ = node_at(n).next;
+    --free_count_;
+    ref_at(n).store(0, std::memory_order_relaxed);
+    if (n < main_ctx_.stamps.size()) main_ctx_.stamps[n] = NodeStamp{};
+    tc.recycled.push_back(n);
+  }
+  if (!tc.recycled.empty()) {
+    const NodeIndex n = tc.recycled.back();
+    tc.recycled.pop_back();
+    return n;
+  }
+  const NodeIndex base = allocated();
+  if (base >= edge_node(kInvalidIndex) - kArenaBlock) {
+    throw std::length_error("BddManager: node pool exceeds 2^31 slots");
+  }
+  ensure_pool(static_cast<std::size_t>(base) + kArenaBlock);
+  allocated_.store(base + kArenaBlock, std::memory_order_relaxed);
+  tc.arena_next = base;
+  tc.arena_end = base + kArenaBlock;
+  return tc.arena_next++;
 }
 
 void BddManager::maybe_resize_subtable(Var v) {
@@ -249,9 +460,9 @@ void BddManager::maybe_resize_subtable(Var v) {
   st.buckets.assign(old.size() * 2, kInvalidIndex);
   for (NodeIndex head : old) {
     for (NodeIndex n = head; n != kInvalidIndex;) {
-      const NodeIndex next = nodes_[n].next;
-      const std::size_t b = subtable_bucket(v, nodes_[n].low, nodes_[n].high);
-      nodes_[n].next = st.buckets[b];
+      const NodeIndex next = node_at(n).next;
+      const std::size_t b = subtable_bucket(v, node_at(n).low, node_at(n).high);
+      node_at(n).next = st.buckets[b];
       st.buckets[b] = n;
       n = next;
     }
@@ -260,32 +471,33 @@ void BddManager::maybe_resize_subtable(Var v) {
 
 void BddManager::subtable_insert(Var v, NodeIndex n) {
   Subtable& st = subtables_[v];
-  const std::size_t b = subtable_bucket(v, nodes_[n].low, nodes_[n].high);
-  nodes_[n].next = st.buckets[b];
+  const std::size_t b = subtable_bucket(v, node_at(n).low, node_at(n).high);
+  node_at(n).next = st.buckets[b];
   st.buckets[b] = n;
   ++st.count;
 }
 
 void BddManager::subtable_remove(Var v, NodeIndex n) {
   Subtable& st = subtables_[v];
-  const std::size_t b = subtable_bucket(v, nodes_[n].low, nodes_[n].high);
+  const std::size_t b = subtable_bucket(v, node_at(n).low, node_at(n).high);
   NodeIndex* link = &st.buckets[b];
   while (*link != kInvalidIndex) {
     if (*link == n) {
-      *link = nodes_[n].next;
+      *link = node_at(n).next;
       --st.count;
       return;
     }
-    link = &nodes_[*link].next;
+    link = &node_at(*link).next;
   }
   assert(false && "node missing from its subtable");
 }
 
 bool BddManager::check_canonical() const {
-  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
-    if (nodes_[n].var == kInvalidVar) continue;  // Free-list slot.
-    if (edge_is_complemented(nodes_[n].high)) return false;
-    if (nodes_[n].low == nodes_[n].high) return false;
+  const NodeIndex end = allocated();
+  for (NodeIndex n = 1; n < end; ++n) {
+    if (node_at(n).var == kInvalidVar) continue;  // Free-list/arena slot.
+    if (edge_is_complemented(node_at(n).high)) return false;
+    if (node_at(n).low == node_at(n).high) return false;
   }
   return true;
 }
@@ -294,57 +506,61 @@ bool BddManager::check_canonical() const {
 // Reference counting and garbage collection
 // ---------------------------------------------------------------------------
 
-void BddManager::ref(NodeIndex e) noexcept { ++ext_refs_[edge_node(e)]; }
-
-void BddManager::deref(NodeIndex e) noexcept {
-  assert(ext_refs_[edge_node(e)] > 0);
-  --ext_refs_[edge_node(e)];
-}
-
-std::uint32_t BddManager::next_generation() {
-  if (++generation_ == 0) {
+std::uint32_t BddManager::next_generation(ThreadCtx& tc) {
+  // Stamp arrays are sized lazily: any slot reachable from a published
+  // edge was allocated before the edge became visible to this thread.
+  tc.stamps.resize(allocated());
+  if (++tc.generation == 0) {
     // Wrapped after ~2^32 traversals: clear every stamp once and restart.
-    for (NodeStamp& s : stamps_) s.gen = 0;
-    for (std::uint32_t& g : var_gen_) g = 0;
-    generation_ = 1;
+    for (NodeStamp& s : tc.stamps) s.gen = 0;
+    for (std::uint32_t& g : tc.var_gen) g = 0;
+    tc.generation = 1;
   }
-  return generation_;
+  return tc.generation;
 }
 
-std::size_t BddManager::mark_reachable(NodeIndex e) {
+std::size_t BddManager::mark_reachable(ThreadCtx& tc, NodeIndex e) {
   // Iterative DFS on the reusable stack; BDDs for deep fixpoints can
   // exceed the call stack. Visited state is the generation stamp, so no
   // per-call bitmap is allocated or cleared.
   std::size_t newly_marked = 0;
-  work_stack_.clear();
-  work_stack_.push_back(edge_node(e));
-  while (!work_stack_.empty()) {
-    const NodeIndex slot = work_stack_.back();
-    work_stack_.pop_back();
-    if (slot == 0 || stamps_[slot].gen == generation_) continue;
-    stamps_[slot].gen = generation_;
+  tc.work_stack.clear();
+  tc.work_stack.push_back(edge_node(e));
+  while (!tc.work_stack.empty()) {
+    const NodeIndex slot = tc.work_stack.back();
+    tc.work_stack.pop_back();
+    if (slot == 0 || tc.stamps[slot].gen == tc.generation) continue;
+    tc.stamps[slot].gen = tc.generation;
     ++newly_marked;
-    work_stack_.push_back(edge_node(nodes_[slot].low));
-    work_stack_.push_back(edge_node(nodes_[slot].high));
+    tc.work_stack.push_back(edge_node(node_at(slot).low));
+    tc.work_stack.push_back(edge_node(node_at(slot).high));
   }
   return newly_marked;
 }
 
 std::size_t BddManager::gc() {
-  assert(!in_operation_ && "GC must not run inside a BDD operation");
-  next_generation();
-  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
-    if (ext_refs_[n] > 0 && nodes_[n].var != kInvalidVar) mark_reachable(n);
+  assert(!shared_mode_ && "gc during shared mode");
+  ThreadCtx& tc = ctx();
+  assert(!tc.in_operation && "GC must not run inside a BDD operation");
+  next_generation(tc);
+  const NodeIndex end = allocated();
+  for (NodeIndex n = 1; n < end; ++n) {
+    if (ref_at(n).load(std::memory_order_relaxed) > 0 &&
+        node_at(n).var != kInvalidVar) {
+      mark_reachable(tc, n);
+    }
   }
 
   std::size_t freed = 0;
-  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
-    if (stamps_[n].gen == generation_ || nodes_[n].var == kInvalidVar) continue;
-    subtable_remove(nodes_[n].var, n);
-    nodes_[n].var = kInvalidVar;
-    nodes_[n].low = kInvalidIndex;
-    nodes_[n].high = kInvalidIndex;
-    nodes_[n].next = free_head_;
+  for (NodeIndex n = 1; n < end; ++n) {
+    if (tc.stamps[n].gen == tc.generation || node_at(n).var == kInvalidVar) {
+      continue;
+    }
+    subtable_remove(node_at(n).var, n);
+    node_at(n).var = kInvalidVar;
+    node_at(n).low = kInvalidIndex;
+    node_at(n).high = kInvalidIndex;
+    node_at(n).next = free_head_;
     free_head_ = n;
     ++free_count_;
     ++freed;
@@ -355,15 +571,17 @@ std::size_t BddManager::gc() {
 }
 
 void BddManager::maybe_gc() {
-  if (in_operation_) return;
-  const std::size_t live_estimate = nodes_.size() - 1 - free_count_;
+  if (shared_mode_) return;  // Nothing frees nodes while threads share.
+  if (main_ctx_.in_operation) return;
+  const std::size_t live_estimate = allocated() - 1 - free_count_;
   if (live_estimate < gc_threshold_) return;
   gc();
-  const std::size_t live = nodes_.size() - 1 - free_count_;
+  const std::size_t live = allocated() - 1 - free_count_;
   if (live * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
 }
 
 void BddManager::clear_cache() {
+  assert(!shared_mode_ && "clear_cache during shared mode");
   // O(1): entries from older epochs simply stop matching. Only the
   // (once per ~2^32 clears) epoch wrap pays for a physical sweep.
   if (++cache_epoch_ == 0) {
@@ -376,15 +594,19 @@ void BddManager::clear_cache() {
 }
 
 std::size_t BddManager::live_node_count() {
-  next_generation();
+  assert(!shared_mode_ && "live_node_count during shared mode");
+  ThreadCtx& tc = ctx();
+  next_generation(tc);
   std::size_t live = 0;
-  for (NodeIndex n = 1; n < nodes_.size(); ++n) {
-    if (ext_refs_[n] > 0 && nodes_[n].var != kInvalidVar) {
-      live += mark_reachable(n);
+  const NodeIndex end = allocated();
+  for (NodeIndex n = 1; n < end; ++n) {
+    if (ref_at(n).load(std::memory_order_relaxed) > 0 &&
+        node_at(n).var != kInvalidVar) {
+      live += mark_reachable(tc, n);
     }
   }
   stats_.live_nodes = live;
-  stats_.allocated_nodes = nodes_.size() - 1;
+  stats_.allocated_nodes = allocated() - 1;
   if (live > stats_.peak_live_nodes) stats_.peak_live_nodes = live;
   return live;
 }
@@ -395,11 +617,27 @@ std::size_t BddManager::live_node_count() {
 
 bool BddManager::cache_find(std::uint32_t op, NodeIndex a, NodeIndex b,
                             NodeIndex c, NodeIndex* out) {
-  ++stats_.cache_lookups;
-  const CacheEntry& e = cache_[hash_cache_key(op, a, b, c) & cache_mask_];
+  const std::size_t slot = hash_cache_key(op, a, b, c) & cache_mask_;
+  if (!shared_mode_) {
+    ++stats_.cache_lookups;
+    const CacheEntry& e = cache_[slot];
+    if (e.epoch == cache_epoch_ && e.op == op && e.a == a && e.b == b &&
+        e.c == c) {
+      ++stats_.cache_hits;
+      *out = e.result;
+      return true;
+    }
+    return false;
+  }
+  ThreadCtx& tc = shard_ctx();
+  ++tc.stats.cache_lookups;
+  // The stripe lock also publishes the nodes behind `e.result`: whoever
+  // stored the entry held this mutex after creating those nodes.
+  std::lock_guard<std::mutex> lock(cache_mu_[slot % kCacheStripes]);
+  const CacheEntry& e = cache_[slot];
   if (e.epoch == cache_epoch_ && e.op == op && e.a == a && e.b == b &&
       e.c == c) {
-    ++stats_.cache_hits;
+    ++tc.stats.cache_hits;
     *out = e.result;
     return true;
   }
@@ -422,8 +660,22 @@ void BddManager::maybe_grow_cache() {
 
 void BddManager::cache_store(std::uint32_t op, NodeIndex a, NodeIndex b,
                              NodeIndex c, NodeIndex result) {
-  maybe_grow_cache();
-  CacheEntry& e = cache_[hash_cache_key(op, a, b, c) & cache_mask_];
+  if (!shared_mode_) {
+    maybe_grow_cache();
+    CacheEntry& e = cache_[hash_cache_key(op, a, b, c) & cache_mask_];
+    e.op = op;
+    e.a = a;
+    e.b = b;
+    e.c = c;
+    e.result = result;
+    e.epoch = cache_epoch_;
+    return;
+  }
+  // Shared mode: the table never grows (growth would move entries under
+  // concurrent readers); entries race only for their stripe lock.
+  const std::size_t slot = hash_cache_key(op, a, b, c) & cache_mask_;
+  std::lock_guard<std::mutex> lock(cache_mu_[slot % kCacheStripes]);
+  CacheEntry& e = cache_[slot];
   e.op = op;
   e.a = a;
   e.b = b;

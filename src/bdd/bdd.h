@@ -36,32 +36,72 @@
 //
 // Generation-stamp protocol
 // -------------------------
-// Every node carries a 32-bit generation stamp plus a 32-bit scratch
-// word. A traversal (mark, support, node_count, sat_count, permute, DOT
-// export, GC) begins by bumping the manager's global generation counter;
-// a node is "visited" when its stamp equals the current generation, and
-// per-node traversal state lives in the scratch word (or in a flat
-// manager-owned side array for values wider than 32 bits, e.g. the
-// sat-count memo). Traversals therefore run with zero per-call heap
-// allocation — nothing is cleared, stale state is simply outdated. The
-// counter bumps are not reentrant: at most one stamped traversal runs at
-// a time (operations that build nodes, like permute, are fine — fresh
-// nodes start at generation 0). On the ~2^32nd traversal the counter
-// wraps; all stamps are reset to 0 once and the counter restarts at 1.
+// Every node has a 32-bit generation stamp plus a 32-bit scratch word,
+// held in a per-thread context parallel to the node pool. A traversal
+// (mark, support, node_count, sat_count, permute, DOT export, GC)
+// begins by bumping its thread's generation counter; a node is
+// "visited" when its stamp equals the current generation, and per-node
+// traversal state lives in the scratch word (or in a flat per-thread
+// side array for values wider than 32 bits, e.g. the sat-count memo).
+// Traversals therefore run with zero per-call heap allocation once
+// warmed up — nothing is cleared, stale state is simply outdated. The
+// counter bumps are not reentrant within one thread: at most one
+// stamped traversal runs at a time per thread (operations that build
+// nodes, like permute, are fine — fresh nodes start at generation 0);
+// different shared-mode threads traverse independently in their own
+// contexts. On a thread's ~2^32nd traversal its counter wraps; its
+// stamps are reset to 0 once and the counter restarts at 1.
 //
-// Thread safety: a `BddManager` and all `Bdd` handles attached to it must
-// be used from a single thread. The manager records the thread that
-// constructed it and, in debug builds, asserts that every node
-// construction happens on that thread — an executor bug that leaks a
-// manager across workers fails loudly instead of corrupting the pool.
-// A consumer that legitimately takes over a finished worker's manager
-// (e.g. `engine::JobHandle::take`) calls `rebind_to_current_thread`
-// first.
+// Thread safety and shared (sharded) mode
+// ----------------------------------------
+// A `BddManager` has two modes:
+//
+//  * Exclusive mode (the default): the manager and all `Bdd` handles
+//    attached to it are used from a single thread. The manager records
+//    the owning thread and, in debug builds, asserts that every node
+//    construction happens on that thread — an executor bug that leaks a
+//    manager across workers fails loudly instead of corrupting the
+//    pool. A consumer that legitimately takes over a finished worker's
+//    manager (e.g. `engine::JobHandle::take`) calls
+//    `rebind_to_current_thread` first.
+//
+//  * Shared mode (`begin_shared` ... `end_shared`): K registered
+//    threads build nodes and run traversals concurrently under ONE
+//    manager — the substrate for "verify once, estimate in parallel".
+//    The structures that make this safe:
+//      - The node pool lives in geometrically-sized *segments* that are
+//        never reallocated, so concurrent readers keep valid references
+//        while other threads grow the pool. Threads allocate fresh
+//        slots from per-thread arenas refilled in blocks under one
+//        allocation mutex.
+//      - The per-variable unique subtables are guarded by a striped
+//        lock array (`var % kUniqueStripes`); lookup, insert and
+//        resize of a variable's table all happen under its stripe.
+//      - The computed cache is guarded by a second stripe array keyed
+//        by cache slot; the mutexes double as the publication fence
+//        that makes one thread's new nodes visible to another.
+//      - All traversal scratch (generation stamps, work stack,
+//        sat-count memo, support marks) moves into per-thread contexts
+//        created at registration, so the generation-stamp protocol
+//        below needs no cross-thread coordination.
+//      - External reference counts are atomics, so handles may be
+//        copied/destroyed on any registered thread.
+//    Structural mutation stays exclusive: `gc`, `clear_cache`,
+//    `new_var`, reordering and `live_node_count` assert that shared
+//    mode is off (nothing frees or moves nodes while threads share the
+//    pool). Each registered thread sees the exact same canonical BDDs,
+//    so results are bit-identical to an exclusive-mode computation.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -343,15 +383,42 @@ class BddManager {
   /// Live node count right now (runs no GC; counts reachable nodes).
   std::size_t live_node_count();
 
-  /// Thread that owns this manager (single-threaded contract above).
+  /// Thread that owns this manager (exclusive-mode contract above).
   std::thread::id owner_thread() const noexcept { return owner_thread_; }
-  /// Transfers ownership to the calling thread. Only legal once the
-  /// previous owner has stopped using the manager — the hand-off a
-  /// multi-worker executor performs when a finished job's results (and
-  /// their live `Bdd` handles) are consumed on another thread.
+  /// Transfers exclusive ownership to the calling thread. Only legal
+  /// once the previous owner has stopped using the manager — the
+  /// hand-off a multi-worker executor performs when a finished job's
+  /// results (and their live `Bdd` handles) are consumed on another
+  /// thread. Meaningless (and asserted against) in shared mode; a
+  /// shared manager is handed off by `end_shared`, which rebinds to the
+  /// caller.
   void rebind_to_current_thread() noexcept {
+    assert(!shared_mode_ && "rebind_to_current_thread during shared mode");
     owner_thread_ = std::this_thread::get_id();
   }
+
+  // -- Shared (sharded) mode ---------------------------------------------------
+
+  /// Enters shared mode: up to `max_threads` registered threads may
+  /// build nodes and traverse concurrently. Must be called from the
+  /// owning thread, outside any operation. Until `end_shared`, the
+  /// structural-mutation entry points (gc, clear_cache, new_var,
+  /// reordering, live_node_count) are forbidden.
+  void begin_shared(std::size_t max_threads);
+
+  /// Leaves shared mode: merges the per-thread statistics, returns
+  /// unused arena slots to the free list, and rebinds exclusive
+  /// ownership to the calling thread. All registered threads must have
+  /// finished (the caller joins them first).
+  void end_shared();
+
+  /// Registers the calling thread as one of the shared-mode workers.
+  /// Every thread that touches the manager between `begin_shared` and
+  /// `end_shared` — including the thread that called `begin_shared`, if
+  /// it participates — must register exactly once per shared epoch.
+  void register_shard_thread();
+
+  bool in_shared_mode() const noexcept { return shared_mode_; }
 
   /// Writes `f` in Graphviz DOT format (solid = high edge, dashed = low,
   /// odot arrowhead = complemented edge).
@@ -359,14 +426,14 @@ class BddManager {
 
   // Internal accessors used by the free algorithms in this library. They
   // take *edges* and return semantic cofactors (complement folded in).
-  Var node_var(NodeIndex e) const { return nodes_[edge_node(e)].var; }
+  Var node_var(NodeIndex e) const { return node_at(edge_node(e)).var; }
   // Folding the edge's complement into a child is a branchless XOR with
   // the edge's own complement bit.
   NodeIndex node_low(NodeIndex e) const {
-    return nodes_[edge_node(e)].low ^ (e & kComplementBit);
+    return node_at(edge_node(e)).low ^ (e & kComplementBit);
   }
   NodeIndex node_high(NodeIndex e) const {
-    return nodes_[edge_node(e)].high ^ (e & kComplementBit);
+    return node_at(edge_node(e)).high ^ (e & kComplementBit);
   }
 
   /// Structural invariant check (tests): true iff no allocated node stores
@@ -376,8 +443,8 @@ class BddManager {
  private:
   friend class Bdd;
 
-  // 16 bytes; the traversal stamps live in the parallel `stamps_` array
-  // so the hot recursion paths keep four nodes per cache line.
+  // 16 bytes; the traversal stamps live in the per-thread contexts so
+  // the hot recursion paths keep four nodes per cache line.
   struct Node {
     NodeIndex low = kInvalidIndex;   ///< May carry the complement bit.
     NodeIndex high = kInvalidIndex;  ///< Invariant: never complemented.
@@ -386,10 +453,32 @@ class BddManager {
   };
 
   /// Per-node traversal state (see the generation-stamp protocol in the
-  /// header comment); indexed by slot, parallel to `nodes_`.
+  /// header comment); indexed by slot, parallel to the node pool, one
+  /// copy per thread context.
   struct NodeStamp {
-    std::uint32_t gen = 0;      ///< Stamp: visited iff == `generation_`.
+    std::uint32_t gen = 0;      ///< Stamp: visited iff == ctx generation.
     std::uint32_t scratch = 0;  ///< Per-traversal scratch word.
+  };
+
+  /// All mutable traversal scratch of one thread. Exclusive mode uses
+  /// `main_ctx_`; each shared-mode thread gets a fresh context at
+  /// registration (fresh contexts also mean no stale generation stamps
+  /// can survive an epoch change). The `stats` block accumulates the
+  /// thread's counter deltas, merged into `stats_` by `end_shared`.
+  struct ThreadCtx {
+    std::thread::id thread;
+    std::uint32_t generation = 0;  ///< Current traversal generation.
+    bool in_operation = false;     ///< Guards against GC during recursion.
+    std::vector<NodeStamp> stamps;       ///< Indexed by slot (grown lazily).
+    std::vector<NodeIndex> work_stack;   ///< Reusable DFS stack.
+    std::vector<double> count_memo;      ///< sat_count memo, by slot.
+    std::vector<std::uint32_t> var_gen;  ///< Per-variable stamps (support).
+    std::vector<std::uint32_t> level_rank;   ///< sat_count: level -> rank.
+    std::vector<unsigned> level_scratch;     ///< sat_count: sorted levels.
+    NodeIndex arena_next = 0;  ///< Next free slot in this thread's arena.
+    NodeIndex arena_end = 0;   ///< One past the arena's last slot.
+    std::vector<NodeIndex> recycled;  ///< Free-list slots claimed in bulk.
+    BddStats stats;            ///< Shared-mode counter deltas.
   };
 
   struct Subtable {
@@ -417,24 +506,114 @@ class BddManager {
     kOpSimplify,
   };
 
+  // -- Segmented node pool ---------------------------------------------------
+  // Slots live in geometrically-sized segments (segment 0 holds 2^kSeg0Bits
+  // slots, segment k>0 holds 2^(kSeg0Bits+k-1)), so growing the pool never
+  // moves existing nodes — the property shared mode relies on. The segment
+  // of a slot is one bit-scan away.
+  static constexpr unsigned kSeg0Bits = 9;
+  static constexpr unsigned kMaxSegments = 23;  // Covers all 2^31 slots.
+
+  static unsigned seg_of(NodeIndex slot) noexcept {
+    return static_cast<unsigned>(
+               std::bit_width(slot | ((NodeIndex{1} << kSeg0Bits) - 1))) -
+           kSeg0Bits;
+  }
+  static NodeIndex seg_base(unsigned seg) noexcept {
+    // Branchless: for seg 0 the shift lands on 2^(kSeg0Bits-1), which
+    // the mask (0 - false == 0) then clears.
+    return (NodeIndex{1} << (kSeg0Bits - 1 + seg)) &
+           (NodeIndex{0} - static_cast<NodeIndex>(seg != 0));
+  }
+  static std::size_t seg_capacity(unsigned seg) noexcept {
+    return std::size_t{1} << (seg == 0 ? kSeg0Bits : kSeg0Bits + seg - 1);
+  }
+
+  // The hot-path accessors read base-adjusted raw pointers (one
+  // bit-scan, one table load, one element load — no branch, no
+  // subtraction): `node_base_[s]` pre-subtracts the segment's first
+  // slot, so indexing by the *global* slot lands inside the segment.
+  // The arithmetic forming the adjusted pointer is done once at segment
+  // creation; every dereference is in bounds.
+  Node& node_at(NodeIndex slot) noexcept {
+    return node_base_[seg_of(slot)][slot];
+  }
+  const Node& node_at(NodeIndex slot) const noexcept {
+    return node_base_[seg_of(slot)][slot];
+  }
+  std::atomic<std::uint32_t>& ref_at(NodeIndex slot) const noexcept {
+    return ref_base_[seg_of(slot)][slot];
+  }
+
+  /// Number of allocated slots (terminal included; relaxed reads are
+  /// safe anywhere a published edge is in hand — see bdd.cpp).
+  NodeIndex allocated() const noexcept {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+
+  /// Grows segment storage until at least `n` slots are addressable.
+  void ensure_pool(std::size_t n);
+
   // Node pool plumbing.
   NodeIndex make_node(Var v, NodeIndex low, NodeIndex high);
   NodeIndex allocate_node();
+  NodeIndex allocate_node_shared(ThreadCtx& tc);
   void subtable_insert(Var v, NodeIndex n);
   void subtable_remove(Var v, NodeIndex n);
   std::size_t subtable_bucket(Var v, NodeIndex low, NodeIndex high) const;
   void maybe_resize_subtable(Var v);
   void maybe_gc();
 
+  // -- Thread contexts -------------------------------------------------------
+
+  /// The calling thread's context: `main_ctx_` in exclusive mode, the
+  /// registered shard context in shared mode (throws std::logic_error for
+  /// an unregistered thread — the shared-mode affinity guard).
+  ThreadCtx& ctx() {
+    if (!shared_mode_) return main_ctx_;
+    return shard_ctx();
+  }
+  ThreadCtx& shard_ctx();
+  /// The thread's counter sink: `stats_` in exclusive mode, the shard
+  /// context's delta block in shared mode.
+  BddStats& hot_stats() {
+    if (!shared_mode_) return stats_;
+    return shard_ctx().stats;
+  }
+
   unsigned level(NodeIndex e) const {
-    const Var v = nodes_[edge_node(e)].var;
+    const Var v = node_at(edge_node(e)).var;
     return v == kInvalidVar ? kTerminalLevel : var_to_level_[v];
   }
   static constexpr unsigned kTerminalLevel = 0xffffffffu;
 
-  // Reference counting for handles (per slot).
-  void ref(NodeIndex e) noexcept;
-  void deref(NodeIndex e) noexcept;
+  // Reference counting for handles (per slot). Inline: every Bdd copy,
+  // assignment and destruction lands here. Exclusive mode is
+  // single-threaded by contract, so it sidesteps the lock-prefixed RMW
+  // (~20 cycles per handle copy) with a plain load+store on the same
+  // atomic; the mode transitions happen-before any cross-thread handle
+  // traffic, so mixing the access styles on one counter is race-free.
+  void ref(NodeIndex e) noexcept {
+    std::atomic<std::uint32_t>& r = ref_at(edge_node(e));
+    if (shared_mode_) {
+      r.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      r.store(r.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+    }
+  }
+  void deref(NodeIndex e) noexcept {
+    std::atomic<std::uint32_t>& r = ref_at(edge_node(e));
+    if (shared_mode_) {
+      [[maybe_unused]] const std::uint32_t old =
+          r.fetch_sub(1, std::memory_order_relaxed);
+      assert(old > 0);
+    } else {
+      const std::uint32_t old = r.load(std::memory_order_relaxed);
+      assert(old > 0);
+      r.store(old - 1, std::memory_order_relaxed);
+    }
+  }
 
   // Computed cache. The table starts small and quadruples (dropping its
   // lossy contents) whenever the stores since the last growth exceed a
@@ -446,12 +625,12 @@ class BddManager {
                    NodeIndex result);
   void maybe_grow_cache();
 
-  // Generation-stamp traversal protocol.
-  std::uint32_t next_generation();
-  /// Marks every node reachable from `e` with the current generation using
-  /// the reusable work stack; returns how many unvisited non-terminal
-  /// slots it stamped.
-  std::size_t mark_reachable(NodeIndex e);
+  // Generation-stamp traversal protocol (all state in the thread ctx).
+  std::uint32_t next_generation(ThreadCtx& tc);
+  /// Marks every node reachable from `e` with the ctx's current
+  /// generation using its reusable work stack; returns how many
+  /// unvisited non-terminal slots it stamped.
+  std::size_t mark_reachable(ThreadCtx& tc, NodeIndex e);
 
   // Recursive cores (operate on edges; callers hold handle roots).
   NodeIndex ite_rec(NodeIndex f, NodeIndex g, NodeIndex h);
@@ -465,16 +644,28 @@ class BddManager {
   NodeIndex and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube);
   NodeIndex compose_rec(NodeIndex f, Var v, NodeIndex g, unsigned v_level);
   NodeIndex simplify_rec(NodeIndex f, NodeIndex care);
-  NodeIndex permute_rec(NodeIndex f, const std::vector<Var>& perm);
+  NodeIndex permute_rec(ThreadCtx& tc, NodeIndex f,
+                        const std::vector<Var>& perm);
 
-  double sat_count_rec(NodeIndex slot);
+  double sat_count_rec(ThreadCtx& tc, NodeIndex slot);
 
   std::size_t sift_var_to(Var v, unsigned target_level);
 
   // Data members.
-  std::vector<Node> nodes_;
-  std::vector<NodeStamp> stamps_;  ///< Parallel to `nodes_`.
-  std::vector<std::uint32_t> ext_refs_;
+  std::array<std::unique_ptr<Node[]>, kMaxSegments> node_segs_;
+  /// External reference counts, parallel to the node segments. Atomic so
+  /// handles may be copied/destroyed on any shared-mode thread (and
+  /// exclusive mode sidesteps the RMW cost with plain load/store).
+  mutable std::array<std::unique_ptr<std::atomic<std::uint32_t>[]>,
+                     kMaxSegments>
+      ref_segs_;
+  /// Base-adjusted segment pointers for the hot accessors above
+  /// (`node_base_[s] == node_segs_[s].get() - seg_base(s)`).
+  std::array<Node*, kMaxSegments> node_base_{};
+  mutable std::array<std::atomic<std::uint32_t>*, kMaxSegments> ref_base_{};
+  unsigned num_segments_ = 0;
+  std::size_t pool_capacity_ = 0;
+  std::atomic<std::uint32_t> allocated_{0};  ///< Slots handed out so far.
   std::vector<Subtable> subtables_;
   std::vector<unsigned> var_to_level_;
   std::vector<Var> level_to_var_;
@@ -487,22 +678,30 @@ class BddManager {
   NodeIndex free_head_ = kInvalidIndex;
   std::size_t free_count_ = 0;
   std::size_t gc_threshold_;
-  bool in_operation_ = false;  ///< Guards against GC during recursion.
-  std::uint32_t generation_ = 0;       ///< Current traversal generation.
-  std::vector<NodeIndex> work_stack_;  ///< Reusable DFS stack (no per-call
-                                       ///< allocation once warmed up).
-  std::vector<double> count_memo_;     ///< sat_count memo, indexed by slot;
-                                       ///< valid when the slot's gen stamp
-                                       ///< matches `generation_`.
-  std::vector<std::uint32_t> level_rank_;  ///< sat_count: level -> rank among
-                                           ///< the counted variables (last
-                                           ///< entry = total, for terminals).
-  std::vector<unsigned> level_scratch_;    ///< sat_count: sorted levels.
-  std::vector<std::uint32_t> var_gen_;  ///< Per-variable stamps (support()).
-  /// Thread-affinity guard: `make_node` asserts (debug builds) that node
-  /// construction happens on this thread. See `rebind_to_current_thread`.
+  /// Exclusive-mode thread-affinity guard: `make_node` asserts (debug
+  /// builds) that node construction happens on this thread. See
+  /// `rebind_to_current_thread`. In shared mode the guard is
+  /// registration instead (see `shard_ctx`).
   std::thread::id owner_thread_ = std::this_thread::get_id();
   BddStats stats_;
+
+  // -- Shared-mode state -----------------------------------------------------
+  ThreadCtx main_ctx_;          ///< Exclusive-mode traversal scratch.
+  bool shared_mode_ = false;    ///< Set/cleared only from the owner thread.
+  std::uint64_t shared_epoch_ = 0;  ///< Bumped on every mode transition, so
+                                    ///< thread-local ctx caches can't leak
+                                    ///< across epochs.
+  std::size_t shard_max_threads_ = 0;
+  std::vector<std::unique_ptr<ThreadCtx>> shard_ctxs_;
+  std::mutex shard_reg_mu_;  ///< Guards `shard_ctxs_` (registration/lookup).
+  std::mutex alloc_mu_;      ///< Guards pool growth + arena refills.
+  static constexpr std::size_t kUniqueStripes = 64;
+  static constexpr std::size_t kCacheStripes = 64;
+  static constexpr NodeIndex kArenaBlock = 256;  ///< Slots per arena refill.
+  /// Striped locks: unique subtables by `var % kUniqueStripes`, computed
+  /// cache by `slot % kCacheStripes`. Only taken in shared mode.
+  std::array<std::mutex, kUniqueStripes> unique_mu_;
+  std::array<std::mutex, kCacheStripes> cache_mu_;
 };
 
 }  // namespace covest::bdd

@@ -23,15 +23,15 @@ namespace covest::bdd {
 // functions (a pure fraction formulation would hit subnormals past
 // ~1074 levels). Complement edges are resolved at each child: the
 // negated count over k remaining variables is 2^k minus the plain one.
-double BddManager::sat_count_rec(NodeIndex slot) {
-  if (stamps_[slot].gen == generation_) return count_memo_[slot];
-  const std::uint32_t rank = level_rank_[var_to_level_[nodes_[slot].var]];
-  const std::uint32_t total = level_rank_[level_rank_.size() - 1];
+double BddManager::sat_count_rec(ThreadCtx& tc, NodeIndex slot) {
+  if (tc.stamps[slot].gen == tc.generation) return tc.count_memo[slot];
+  const std::uint32_t rank = tc.level_rank[var_to_level_[node_at(slot).var]];
+  const std::uint32_t total = tc.level_rank[tc.level_rank.size() - 1];
   const auto child_count = [&](NodeIndex e) -> double {
     const NodeIndex child = edge_node(e);
     const std::uint32_t child_rank =
-        child == 0 ? total : level_rank_[var_to_level_[nodes_[child].var]];
-    double n = child == 0 ? 1.0 : sat_count_rec(child);
+        child == 0 ? total : tc.level_rank[var_to_level_[node_at(child).var]];
+    double n = child == 0 ? 1.0 : sat_count_rec(tc, child);
     if (edge_is_complemented(e)) {
       n = std::exp2(static_cast<double>(total - child_rank)) - n;
     }
@@ -43,9 +43,9 @@ double BddManager::sat_count_rec(NodeIndex slot) {
     return n * std::exp2(static_cast<double>(child_rank - rank - 1));
   };
   const double result =
-      child_count(nodes_[slot].low) + child_count(nodes_[slot].high);
-  stamps_[slot].gen = generation_;
-  count_memo_[slot] = result;
+      child_count(node_at(slot).low) + child_count(node_at(slot).high);
+  tc.stamps[slot].gen = tc.generation;
+  tc.count_memo[slot] = result;
   return result;
 }
 
@@ -61,23 +61,27 @@ double BddManager::sat_count(const Bdd& f, const std::vector<Var>& over) {
   if (f.is_false()) return 0.0;
   if (f.is_true()) return std::exp2(total_vars);
 
-  // Rank the counted variables by level in the reusable manager buffers
-  // (level_rank_'s last entry holds the total, used for terminals).
-  level_scratch_.clear();
-  for (Var v : over) level_scratch_.push_back(var_to_level_[v]);
-  std::sort(level_scratch_.begin(), level_scratch_.end());
-  level_rank_.assign(level_to_var_.size() + 1, 0xffffffffu);
-  for (std::size_t i = 0; i < level_scratch_.size(); ++i) {
-    level_rank_[level_scratch_[i]] = static_cast<std::uint32_t>(i);
+  ThreadCtx& tc = ctx();
+  // Rank the counted variables by level in the reusable per-thread
+  // buffers (level_rank's last entry holds the total, for terminals).
+  tc.level_scratch.clear();
+  for (Var v : over) tc.level_scratch.push_back(var_to_level_[v]);
+  std::sort(tc.level_scratch.begin(), tc.level_scratch.end());
+  tc.level_rank.assign(level_to_var_.size() + 1, 0xffffffffu);
+  for (std::size_t i = 0; i < tc.level_scratch.size(); ++i) {
+    tc.level_rank[tc.level_scratch[i]] = static_cast<std::uint32_t>(i);
   }
-  level_rank_[level_rank_.size() - 1] =
-      static_cast<std::uint32_t>(level_scratch_.size());
+  tc.level_rank[tc.level_rank.size() - 1] =
+      static_cast<std::uint32_t>(tc.level_scratch.size());
 
-  if (count_memo_.size() < nodes_.size()) count_memo_.resize(nodes_.size());
-  next_generation();
+  next_generation(tc);  // Also sizes tc.stamps to the allocated pool.
+  if (tc.count_memo.size() < tc.stamps.size()) {
+    tc.count_memo.resize(tc.stamps.size());
+  }
   const NodeIndex root = edge_node(f.index());
-  const std::uint32_t root_rank = level_rank_[var_to_level_[nodes_[root].var]];
-  double n = sat_count_rec(root);
+  const std::uint32_t root_rank =
+      tc.level_rank[var_to_level_[node_at(root).var]];
+  double n = sat_count_rec(tc, root);
   if (edge_is_complemented(f.index())) {
     n = std::exp2(total_vars - static_cast<double>(root_rank)) - n;
   }
@@ -167,7 +171,7 @@ bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
   bool complemented = false;
   while (!edge_is_terminal(e)) {
     complemented ^= edge_is_complemented(e);
-    const Node& n = nodes_[edge_node(e)];
+    const Node& n = node_at(edge_node(e));
     assert(n.var < assignment.size());
     e = assignment[n.var] ? n.high : n.low;
   }
@@ -177,38 +181,43 @@ bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
 
 std::vector<Var> BddManager::support(const Bdd& f) {
   assert(f.manager() == this);
-  // Stamp the support variables in var_gen_; no per-call bitmaps.
-  next_generation();
-  work_stack_.clear();
-  work_stack_.push_back(edge_node(f.index()));
-  while (!work_stack_.empty()) {
-    const NodeIndex slot = work_stack_.back();
-    work_stack_.pop_back();
-    if (slot == 0 || stamps_[slot].gen == generation_) continue;
-    stamps_[slot].gen = generation_;
-    var_gen_[nodes_[slot].var] = generation_;
-    work_stack_.push_back(edge_node(nodes_[slot].low));
-    work_stack_.push_back(edge_node(nodes_[slot].high));
+  ThreadCtx& tc = ctx();
+  // Stamp the support variables in the ctx's var_gen; no per-call
+  // bitmaps.
+  tc.var_gen.resize(num_vars(), 0);
+  next_generation(tc);
+  tc.work_stack.clear();
+  tc.work_stack.push_back(edge_node(f.index()));
+  while (!tc.work_stack.empty()) {
+    const NodeIndex slot = tc.work_stack.back();
+    tc.work_stack.pop_back();
+    if (slot == 0 || tc.stamps[slot].gen == tc.generation) continue;
+    tc.stamps[slot].gen = tc.generation;
+    tc.var_gen[node_at(slot).var] = tc.generation;
+    tc.work_stack.push_back(edge_node(node_at(slot).low));
+    tc.work_stack.push_back(edge_node(node_at(slot).high));
   }
   std::vector<Var> result;
-  for (Var v = 0; v < var_gen_.size(); ++v) {
-    if (var_gen_[v] == generation_) result.push_back(v);
+  for (Var v = 0; v < tc.var_gen.size(); ++v) {
+    if (tc.var_gen[v] == tc.generation) result.push_back(v);
   }
   return result;
 }
 
 std::size_t BddManager::node_count(const Bdd& f) {
   assert(f.manager() == this);
-  next_generation();
-  return mark_reachable(f.index());
+  ThreadCtx& tc = ctx();
+  next_generation(tc);
+  return mark_reachable(tc, f.index());
 }
 
 std::size_t BddManager::node_count(const std::vector<Bdd>& fs) {
-  next_generation();
+  ThreadCtx& tc = ctx();
+  next_generation(tc);
   std::size_t count = 0;
   for (const Bdd& f : fs) {
     assert(f.manager() == this);
-    count += mark_reachable(f.index());
+    count += mark_reachable(tc, f.index());
   }
   return count;
 }

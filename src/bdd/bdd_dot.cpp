@@ -37,24 +37,25 @@ void BddManager::write_dot(std::ostream& os, const Bdd& f,
      << edge_attrs(f.index(), false) << ";\n";
 
   // Generation-stamped DFS over plain slots; no per-call visited sets.
-  next_generation();
-  work_stack_.clear();
-  work_stack_.push_back(edge_node(f.index()));
-  while (!work_stack_.empty()) {
-    const NodeIndex slot = work_stack_.back();
-    work_stack_.pop_back();
-    if (slot == 0 || stamps_[slot].gen == generation_) continue;
-    stamps_[slot].gen = generation_;
-    const NodeIndex low = nodes_[slot].low;
-    const NodeIndex high = nodes_[slot].high;
+  ThreadCtx& tc = ctx();
+  next_generation(tc);
+  tc.work_stack.clear();
+  tc.work_stack.push_back(edge_node(f.index()));
+  while (!tc.work_stack.empty()) {
+    const NodeIndex slot = tc.work_stack.back();
+    tc.work_stack.pop_back();
+    if (slot == 0 || tc.stamps[slot].gen == tc.generation) continue;
+    tc.stamps[slot].gen = tc.generation;
+    const NodeIndex low = node_at(slot).low;
+    const NodeIndex high = node_at(slot).high;
     os << "  " << node_name(slot) << " [label=\""
-       << var_names_[nodes_[slot].var] << "\"];\n";
+       << var_names_[node_at(slot).var] << "\"];\n";
     os << "  " << node_name(slot) << " -> " << node_name(edge_node(low))
        << edge_attrs(low, true) << ";\n";
     os << "  " << node_name(slot) << " -> " << node_name(edge_node(high))
        << edge_attrs(high, false) << ";\n";
-    work_stack_.push_back(edge_node(low));
-    work_stack_.push_back(edge_node(high));
+    tc.work_stack.push_back(edge_node(low));
+    tc.work_stack.push_back(edge_node(high));
   }
   os << "}\n";
 }

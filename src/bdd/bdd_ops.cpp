@@ -107,14 +107,14 @@ NodeIndex BddManager::xor_rec(NodeIndex f, NodeIndex g) {
 Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
   assert(f.manager() == this && g.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this, and_rec(f.index(), g.index()));
 }
 
 Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
   assert(f.manager() == this && g.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this,
              or_rec(f.index(), g.index()));
 }
@@ -122,14 +122,14 @@ Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
 Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
   assert(f.manager() == this && g.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this, xor_rec(f.index(), g.index()));
 }
 
 Bdd BddManager::apply_not(const Bdd& f) {
   assert(f.manager() == this);
   // O(1): no recursion, no allocation, no cache traffic.
-  ++stats_.o1_negations;
+  ++hot_stats().o1_negations;
   return Bdd(this, edge_not(f.index()));
 }
 
@@ -198,7 +198,7 @@ NodeIndex BddManager::ite_rec(NodeIndex f, NodeIndex g, NodeIndex h) {
 Bdd BddManager::apply_ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   assert(f.manager() == this && g.manager() == this && h.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this, ite_rec(f.index(), g.index(), h.index()));
 }
 
@@ -212,7 +212,7 @@ NodeIndex BddManager::exists_rec(NodeIndex f, NodeIndex cube) {
   // variable not in the support is the identity.
   const unsigned lf = level(f);
   while (!edge_is_terminal(cube) && level(cube) < lf) {
-    cube = nodes_[edge_node(cube)].high;  // Positive cube: high is plain.
+    cube = node_at(edge_node(cube)).high;  // Positive cube: high is plain.
   }
   if (edge_is_terminal(cube)) return f;
 
@@ -223,7 +223,7 @@ NodeIndex BddManager::exists_rec(NodeIndex f, NodeIndex cube) {
   const NodeIndex f1 = node_high(f);
   NodeIndex result;
   if (level(cube) == lf) {
-    const NodeIndex rest = nodes_[edge_node(cube)].high;
+    const NodeIndex rest = node_at(edge_node(cube)).high;
     const NodeIndex low = exists_rec(f0, rest);
     if (low == kTrueIndex) {
       result = kTrueIndex;  // Early termination: OR with anything is true.
@@ -243,14 +243,14 @@ NodeIndex BddManager::exists_rec(NodeIndex f, NodeIndex cube) {
 Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
   assert(f.manager() == this && cube.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this, exists_rec(f.index(), cube.index()));
 }
 
 Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
   assert(f.manager() == this && cube.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   // Duality: forall(f) = !exists(!f); shares the kOpExists cache.
   return Bdd(this, edge_not(exists_rec(edge_not(f.index()), cube.index())));
 }
@@ -271,7 +271,7 @@ NodeIndex BddManager::and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube) {
   const unsigned lf = level(f), lg = level(g);
   const unsigned top = std::min(lf, lg);
   while (!edge_is_terminal(cube) && level(cube) < top) {
-    cube = nodes_[edge_node(cube)].high;
+    cube = node_at(edge_node(cube)).high;
   }
   if (edge_is_terminal(cube)) return and_rec(f, g);
 
@@ -286,7 +286,7 @@ NodeIndex BddManager::and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube) {
 
   NodeIndex result;
   if (level(cube) == top) {
-    const NodeIndex rest = nodes_[edge_node(cube)].high;
+    const NodeIndex rest = node_at(edge_node(cube)).high;
     const NodeIndex low = and_exists_rec(f0, g0, rest);
     if (low == kTrueIndex) {
       result = kTrueIndex;  // Early termination: OR with anything is true.
@@ -306,7 +306,7 @@ NodeIndex BddManager::and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube) {
 Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
   assert(f.manager() == this && g.manager() == this && cube.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this, and_exists_rec(f.index(), g.index(), cube.index()));
 }
 
@@ -326,9 +326,9 @@ NodeIndex BddManager::compose_rec(NodeIndex f, Var v, NodeIndex g,
   if (cache_find(kOpCompose, f, g, v, &cached)) return cached ^ parity;
 
   // Copy fields before recursing: make_node may grow the pool.
-  const Var fv = nodes_[f].var;
-  const NodeIndex flow = nodes_[f].low;
-  const NodeIndex fhigh = nodes_[f].high;
+  const Var fv = node_at(f).var;
+  const NodeIndex flow = node_at(f).low;
+  const NodeIndex fhigh = node_at(f).high;
 
   NodeIndex result;
   if (fv == v) {
@@ -349,13 +349,13 @@ NodeIndex BddManager::compose_rec(NodeIndex f, Var v, NodeIndex g,
 Bdd BddManager::compose(const Bdd& f, Var v, const Bdd& g) {
   assert(f.manager() == this && g.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this, compose_rec(f.index(), v, g.index(), var_to_level_[v]));
 }
 
 Bdd BddManager::cofactor(const Bdd& f, Var v, bool value) {
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this, compose_rec(f.index(), v,
                                value ? kTrueIndex : kFalseIndex,
                                var_to_level_[v]));
@@ -383,9 +383,9 @@ NodeIndex BddManager::simplify_rec(NodeIndex f, NodeIndex care) {
   } else {
     const NodeIndex c0 = lc == lf ? node_low(care) : care;
     const NodeIndex c1 = lc == lf ? node_high(care) : care;
-    const Var fv = nodes_[f].var;
-    const NodeIndex flow = nodes_[f].low;
-    const NodeIndex fhigh = nodes_[f].high;
+    const Var fv = node_at(f).var;
+    const NodeIndex flow = node_at(f).low;
+    const NodeIndex fhigh = node_at(f).high;
     if (c0 == kFalseIndex) {
       result = simplify_rec(fhigh, c1);
     } else if (c1 == kFalseIndex) {
@@ -404,44 +404,51 @@ Bdd BddManager::simplify(const Bdd& f, const Bdd& care) {
   assert(f.manager() == this && care.manager() == this);
   assert(!care.is_false());
   maybe_gc();
-  OperationGuard guard(in_operation_);
+  OperationGuard guard(ctx().in_operation);
   return Bdd(this, simplify_rec(f.index(), care.index()));
 }
 
-NodeIndex BddManager::permute_rec(NodeIndex f, const std::vector<Var>& perm) {
+NodeIndex BddManager::permute_rec(ThreadCtx& tc, NodeIndex f,
+                                  const std::vector<Var>& perm) {
   if (edge_is_terminal(f)) return f;
 
   // Renaming commutes with complement: memoize on the plain node, with
-  // the result edge in the node's scratch word (generation-stamped).
+  // the result edge in the slot's scratch word (generation-stamped, in
+  // this thread's context — each shared-mode thread memoizes its own
+  // traversal).
   const NodeIndex parity = f & kComplementBit;
   const NodeIndex slot = edge_node(f);
-  if (stamps_[slot].gen == generation_) {
-    return stamps_[slot].scratch ^ parity;
+  if (tc.stamps[slot].gen == tc.generation) {
+    return tc.stamps[slot].scratch ^ parity;
   }
 
   // Copy fields before recursing: make_node may grow the pool.
-  const Var old_var = nodes_[slot].var;
-  const NodeIndex flow = nodes_[slot].low;
-  const NodeIndex fhigh = nodes_[slot].high;
+  const Var old_var = node_at(slot).var;
+  const NodeIndex flow = node_at(slot).low;
+  const NodeIndex fhigh = node_at(slot).high;
 
-  const NodeIndex low = permute_rec(flow, perm);
-  const NodeIndex high = permute_rec(fhigh, perm);
+  const NodeIndex low = permute_rec(tc, flow, perm);
+  const NodeIndex high = permute_rec(tc, fhigh, perm);
   const Var new_var = old_var < perm.size() ? perm[old_var] : old_var;
   // ITE keeps the result canonical even if the renaming moves the
   // variable across levels of the children.
   const NodeIndex root = make_node(new_var, kFalseIndex, kTrueIndex);
   const NodeIndex result = ite_rec(root, high, low);
-  stamps_[slot].gen = generation_;
-  stamps_[slot].scratch = result;
+  // make_node/ite_rec may have grown the pool past the stamp array that
+  // next_generation sized; the memoized slots themselves are all roots
+  // of the *input* BDD, which predates the traversal.
+  tc.stamps[slot].gen = tc.generation;
+  tc.stamps[slot].scratch = result;
   return result ^ parity;
 }
 
 Bdd BddManager::permute(const Bdd& f, const std::vector<Var>& perm) {
   assert(f.manager() == this);
   maybe_gc();
-  OperationGuard guard(in_operation_);
-  next_generation();
-  return Bdd(this, permute_rec(f.index(), perm));
+  ThreadCtx& tc = ctx();
+  OperationGuard guard(tc.in_operation);
+  next_generation(tc);
+  return Bdd(this, permute_rec(tc, f.index(), perm));
 }
 
 }  // namespace covest::bdd

@@ -20,6 +20,7 @@
 namespace covest::bdd {
 
 void BddManager::swap_adjacent_levels(unsigned lvl) {
+  assert(!shared_mode_ && "swap_adjacent_levels during shared mode");
   assert(lvl + 1 < level_to_var_.size());
   const Var x = level_to_var_[lvl];      // Upper variable, moving down.
   const Var y = level_to_var_[lvl + 1];  // Lower variable, moving up.
@@ -28,9 +29,9 @@ void BddManager::swap_adjacent_levels(unsigned lvl) {
   // (their level changes, but levels live in the manager's maps).
   std::vector<NodeIndex> affected;
   for (NodeIndex head : subtables_[x].buckets) {
-    for (NodeIndex n = head; n != kInvalidIndex; n = nodes_[n].next) {
-      if (nodes_[edge_node(nodes_[n].low)].var == y ||
-          nodes_[edge_node(nodes_[n].high)].var == y) {
+    for (NodeIndex n = head; n != kInvalidIndex; n = node_at(n).next) {
+      if (node_at(edge_node(node_at(n).low)).var == y ||
+          node_at(edge_node(node_at(n).high)).var == y) {
         affected.push_back(n);
       }
     }
@@ -40,15 +41,15 @@ void BddManager::swap_adjacent_levels(unsigned lvl) {
   for (NodeIndex n : affected) subtable_remove(x, n);
 
   for (NodeIndex n : affected) {
-    const NodeIndex f0 = nodes_[n].low;   // May be complemented.
-    const NodeIndex f1 = nodes_[n].high;  // Plain by canonicity.
-    const bool low_is_y = nodes_[edge_node(f0)].var == y;
-    const bool high_is_y = nodes_[f1].var == y;
+    const NodeIndex f0 = node_at(n).low;   // May be complemented.
+    const NodeIndex f1 = node_at(n).high;  // Plain by canonicity.
+    const bool low_is_y = node_at(edge_node(f0)).var == y;
+    const bool high_is_y = node_at(f1).var == y;
     // Semantic y-cofactors of each branch (complement folded in).
     const NodeIndex f00 = low_is_y ? node_low(f0) : f0;
     const NodeIndex f01 = low_is_y ? node_high(f0) : f0;
-    const NodeIndex f10 = high_is_y ? nodes_[f1].low : f1;
-    const NodeIndex f11 = high_is_y ? nodes_[f1].high : f1;
+    const NodeIndex f10 = high_is_y ? node_at(f1).low : f1;
+    const NodeIndex f11 = high_is_y ? node_at(f1).high : f1;
 
     // n was (x ? f1 : f0); it becomes y ? (x ? f11 : f01) : (x ? f10 : f00),
     // the same function with y on top. f11 is a stored *high* edge,
@@ -61,9 +62,9 @@ void BddManager::swap_adjacent_levels(unsigned lvl) {
     assert(!edge_is_complemented(new_high) &&
            "swap must not flip the rewritten node's polarity");
     assert(new_low != new_high && "rewritten node must still depend on y");
-    nodes_[n].var = y;
-    nodes_[n].low = new_low;
-    nodes_[n].high = new_high;
+    node_at(n).var = y;
+    node_at(n).low = new_low;
+    node_at(n).high = new_high;
     subtable_insert(y, n);
   }
 
@@ -89,7 +90,8 @@ std::size_t BddManager::sift_var_to(Var v, unsigned target_level) {
 }
 
 std::size_t BddManager::reorder_sift(std::size_t max_vars) {
-  assert(!in_operation_);
+  assert(!shared_mode_ && "reorder_sift during shared mode");
+  assert(!main_ctx_.in_operation);
   gc();
   ++stats_.reorderings;
 

@@ -18,6 +18,10 @@ CoverageEstimator::CoverageEstimator(ctl::ModelChecker& checker,
 // ---------------------------------------------------------------------------
 
 const Bdd& CoverageEstimator::coverage_space() {
+  // The optional is engaged at most once, so the returned reference
+  // stays valid after the lock is released. Session::run computes it
+  // before fanning estimation out, so shared-mode threads always hit.
+  std::lock_guard<std::recursive_mutex> lock(cache_mu_);
   if (!space_) {
     // States reachable along fair paths: the same fair-restricted BFS the
     // covered-set recursion uses (and caches), so suites pay for
@@ -38,16 +42,22 @@ Bdd CoverageEstimator::forward_fair(const Bdd& s) {
 }
 
 Bdd CoverageEstimator::reachable_fair(const Bdd& s) {
-  const auto it = reach_cache_.find(s.index());
-  if (it != reach_cache_.end() && it->second.from == s) {
-    return it->second.result;
+  {
+    std::lock_guard<std::recursive_mutex> lock(cache_mu_);
+    const auto it = reach_cache_.find(s.index());
+    if (it != reach_cache_.end() && it->second.from == s) {
+      return it->second.result;
+    }
   }
+  // Computed outside the lock: a racing thread may redo this fix-point,
+  // but both arrive at the same canonical BDD.
   Bdd reached = s;
   Bdd frontier = s;
   while (!frontier.is_false()) {
     frontier = forward_fair(frontier) - reached;
     reached |= frontier;
   }
+  std::lock_guard<std::recursive_mutex> lock(cache_mu_);
   reach_cache_[s.index()] = ReachEntry{s, reached};
   return reached;
 }
@@ -85,10 +95,12 @@ std::uint64_t triple_key(bdd::NodeIndex a, bdd::NodeIndex b,
 Bdd CoverageEstimator::traverse(const Bdd& s0, const Bdd& t1, const Bdd& t2) {
   // lfp X. (S0 ∧ T(f1) ∧ ¬T(f2)) ∪ (forward(X) ∧ T(f1) ∧ ¬T(f2)):
   // states on the f1-and-not-yet-f2 prefixes of paths from S0.
-  auto& bucket = traverse_cache_[triple_key(s0.index(), t1.index(),
-                                            t2.index())];
-  for (const TraverseEntry& e : bucket) {
-    if (e.s0 == s0 && e.t1 == t1 && e.t2 == t2) return e.result;
+  const std::uint64_t key = triple_key(s0.index(), t1.index(), t2.index());
+  {
+    std::lock_guard<std::recursive_mutex> lock(cache_mu_);
+    for (const TraverseEntry& e : traverse_cache_[key]) {
+      if (e.s0 == s0 && e.t1 == t1 && e.t2 == t2) return e.result;
+    }
   }
   const Bdd band = t1 - t2;
   Bdd acc = s0 & band;
@@ -97,6 +109,12 @@ Bdd CoverageEstimator::traverse(const Bdd& s0, const Bdd& t1, const Bdd& t2) {
     frontier = (forward_fair(frontier) & band) - acc;
     acc |= frontier;
   }
+  std::lock_guard<std::recursive_mutex> lock(cache_mu_);
+  auto& bucket = traverse_cache_[key];  // Re-resolved: the map may have
+                                        // rehashed while we computed.
+  for (const TraverseEntry& e : bucket) {
+    if (e.s0 == s0 && e.t1 == t1 && e.t2 == t2) return e.result;
+  }
   bucket.push_back(TraverseEntry{s0, t1, t2, acc});
   return acc;
 }
@@ -104,9 +122,12 @@ Bdd CoverageEstimator::traverse(const Bdd& s0, const Bdd& t1, const Bdd& t2) {
 Bdd CoverageEstimator::firstreached(const Bdd& s0, const Bdd& t2) {
   // States satisfying f2 that some path from S0 reaches without passing
   // through an earlier f2 state.
-  auto& bucket = first_cache_[triple_key(s0.index(), t2.index(), 0)];
-  for (const FirstEntry& e : bucket) {
-    if (e.s0 == s0 && e.t2 == t2) return e.result;
+  const std::uint64_t key = triple_key(s0.index(), t2.index(), 0);
+  {
+    std::lock_guard<std::recursive_mutex> lock(cache_mu_);
+    for (const FirstEntry& e : first_cache_[key]) {
+      if (e.s0 == s0 && e.t2 == t2) return e.result;
+    }
   }
   Bdd first = s0 & t2;
   Bdd visited = s0;
@@ -116,6 +137,11 @@ Bdd CoverageEstimator::firstreached(const Bdd& s0, const Bdd& t2) {
     visited |= next;
     first |= next & t2;
     frontier = next - t2;
+  }
+  std::lock_guard<std::recursive_mutex> lock(cache_mu_);
+  auto& bucket = first_cache_[key];
+  for (const FirstEntry& e : bucket) {
+    if (e.s0 == s0 && e.t2 == t2) return e.result;
   }
   bucket.push_back(FirstEntry{s0, t2, first});
   return first;

@@ -1,8 +1,11 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "ctl/ctl_parser.h"
 #include "engine/executor.h"
@@ -42,10 +45,25 @@ PhaseStats snapshot(bdd::BddManager& mgr, double ms) {
   p.live_nodes = mgr.live_node_count();
   p.peak_live_nodes = st.peak_live_nodes;
   p.cache_hit_rate = st.cache_hit_rate();
+  p.passes = 1;  // This session ran the phase once; merges may sum.
   return p;
 }
 
 }  // namespace
+
+std::size_t effective_shards(std::size_t requested, std::size_t rows) {
+  if (requested <= 1 || rows <= 1) return 1;
+  return std::min({requested, rows, kMaxEstimatorThreads});
+}
+
+std::pair<std::size_t, std::size_t> shard_chunk_range(std::size_t total,
+                                                      std::size_t shard,
+                                                      std::size_t shards) {
+  const std::size_t base = total / shards;
+  const std::size_t rem = total % shards;
+  const std::size_t first = shard * base + std::min(shard, rem);
+  return {first, first + base + (shard < rem ? 1 : 0)};
+}
 
 // ---------------------------------------------------------------------------
 // Session
@@ -89,6 +107,54 @@ std::vector<std::string> resolve_signal_names(const CoverageRequest& request,
 
 Session::Session(const model::Model& model, core::CoverageOptions options)
     : fsm_(model), checker_(fsm_), estimator_(checker_, lenient(options)) {}
+
+/// One signal row. Everything read here is immutable during estimation
+/// (specs/formulas/outcomes are fixed once verification finished) or
+/// internally synchronized (checker memo, estimator fix-point caches,
+/// the shared-mode BDD manager), so sharded runs call this concurrently
+/// from several estimator threads — and because every intermediate is a
+/// canonical BDD with exact counts, the row is identical no matter
+/// which thread computes it.
+SignalRow Session::estimate_row(const CoverageRequest& request,
+                                const std::string& name,
+                                const std::vector<PropertySpec>& specs,
+                                const std::vector<ctl::Formula>& formulas,
+                                const std::vector<PropertyResult>& outcomes) {
+  const auto t_row = Clock::now();
+  const std::vector<core::ObservedSignal> group =
+      core::observe_all_bits(model(), name);
+
+  std::vector<ctl::Formula> eligible;
+  for (std::size_t j = 0; j < specs.size(); ++j) {
+    if (outcomes[j].skipped) continue;
+    const std::vector<std::string>& obs = specs[j].observe;
+    if (obs.empty() || std::find(obs.begin(), obs.end(), name) != obs.end()) {
+      eligible.push_back(formulas[j]);
+    }
+  }
+
+  const core::SignalCoverage sc = estimator_.coverage(eligible, group);
+  SignalRow row;
+  row.name = name;
+  row.num_properties = sc.num_properties;
+  row.covered_count = sc.covered_count;
+  row.percent = sc.percent;
+  row.covered = sc.covered;
+  // Hole reporting is skippable work: don't compute the uncovered set
+  // at all when nothing was asked for (the bench harness sets limit 0
+  // precisely to keep the estimate timing pure).
+  if (request.uncovered_limit > 0) {
+    row.uncovered =
+        estimator_.uncovered_examples(sc.covered, request.uncovered_limit);
+  }
+  if (request.want_traces) {
+    if (const auto trace = estimator_.trace_to_uncovered(sc.covered)) {
+      row.trace = make_trace_result(fsm_, *trace);
+    }
+  }
+  row.estimate_ms = ms_since(t_row);
+  return row;
+}
 
 SuiteResult Session::run(const CoverageRequest& request,
                          const RunHooks& hooks) {
@@ -162,51 +228,95 @@ SuiteResult Session::run(const CoverageRequest& request,
   result.reachable_states = *reachable_count_;
   const auto t_estimate = Clock::now();
   result.space_count = fsm_.count_states(estimator_.coverage_space());
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    const std::string& name = names[i];
-    const auto t_row = Clock::now();
-    const std::vector<core::ObservedSignal> group =
-        core::observe_all_bits(m, name);
 
-    std::vector<ctl::Formula> eligible;
-    for (std::size_t j = 0; j < specs.size(); ++j) {
-      if (result.properties[j].skipped) continue;
-      const std::vector<std::string>& obs = specs[j].observe;
-      if (obs.empty() ||
-          std::find(obs.begin(), obs.end(), name) != obs.end()) {
-        eligible.push_back(formulas[j]);
+  const std::size_t fan_out = effective_shards(request.shards, names.size());
+  if (fan_out <= 1) {
+    // Serial estimation: one row at a time on the calling thread.
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      SignalRow row = estimate_row(request, names[i], specs, formulas,
+                                   result.properties);
+
+      Progress p;
+      p.phase = Progress::Phase::kEstimate;
+      p.index = i + 1;
+      p.total = names.size();
+      p.item = names[i];
+      p.percent = row.percent;
+      result.signals.push_back(std::move(row));
+      if (!progress(p)) {
+        result.cancelled = true;
+        result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
+        result.total_ms = ms_since(t_run);
+        return result;
       }
     }
+  } else {
+    // Sharded estimation: the suite was parsed, elaborated and verified
+    // exactly once above; now only the rows fan out. Chunk s owns the
+    // contiguous row range shard_chunk_range(names, s, fan_out), so
+    // concatenating the chunks reproduces request order — and because
+    // every BDD is canonical and every count exact, the merged rows are
+    // byte-identical to the serial loop. Cancellation keeps each
+    // chunk's prefix (the documented sharded-cancel semantics: request
+    // order with interior gaps).
+    bdd::BddManager& mgr = fsm_.mgr();
+    std::vector<std::vector<SignalRow>> chunk_rows(fan_out);
+    std::vector<std::exception_ptr> failures(fan_out);
+    std::atomic<bool> stop{false};
+    std::atomic<bool> cancelled{false};
+    mgr.begin_shared(fan_out);
+    {
+      std::vector<std::thread> estimators;
+      estimators.reserve(fan_out);
+      for (std::size_t s = 0; s < fan_out; ++s) {
+        estimators.emplace_back([&, s] {
+          try {
+            mgr.register_shard_thread();
+            const auto [first, last] =
+                shard_chunk_range(names.size(), s, fan_out);
+            for (std::size_t i = first; i < last; ++i) {
+              if (stop.load(std::memory_order_relaxed)) break;
+              SignalRow row = estimate_row(request, names[i], specs,
+                                           formulas, result.properties);
 
-    const core::SignalCoverage sc = estimator_.coverage(eligible, group);
-    SignalRow row;
-    row.name = name;
-    row.num_properties = sc.num_properties;
-    row.covered_count = sc.covered_count;
-    row.percent = sc.percent;
-    row.covered = sc.covered;
-    // Hole reporting is skippable work: don't compute the uncovered set
-    // at all when nothing was asked for (the bench harness sets limit 0
-    // precisely to keep the estimate timing pure).
-    if (request.uncovered_limit > 0) {
-      row.uncovered =
-          estimator_.uncovered_examples(sc.covered, request.uncovered_limit);
-    }
-    if (request.want_traces) {
-      if (const auto trace = estimator_.trace_to_uncovered(sc.covered)) {
-        row.trace = make_trace_result(fsm_, *trace);
+              Progress p;
+              p.phase = Progress::Phase::kEstimate;
+              p.index = i + 1;
+              p.total = names.size();
+              p.item = names[i];
+              p.percent = row.percent;
+              chunk_rows[s].push_back(std::move(row));
+
+              bool keep_going = true;
+              if (hooks.on_shard_row && !hooks.on_shard_row(s, p)) {
+                keep_going = false;
+              }
+              // Chunk 0 also drives the serial progress contract.
+              if (s == 0 && hooks.on_progress && !hooks.on_progress(p)) {
+                keep_going = false;
+              }
+              if (!keep_going) {
+                cancelled.store(true, std::memory_order_relaxed);
+                stop.store(true, std::memory_order_relaxed);
+                break;
+              }
+            }
+          } catch (...) {
+            failures[s] = std::current_exception();
+            stop.store(true, std::memory_order_relaxed);
+          }
+        });
       }
+      for (std::thread& t : estimators) t.join();
     }
-    row.estimate_ms = ms_since(t_row);
-    result.signals.push_back(std::move(row));
-
-    Progress p;
-    p.phase = Progress::Phase::kEstimate;
-    p.index = i + 1;
-    p.total = names.size();
-    p.item = name;
-    p.percent = result.signals.back().percent;
-    if (!progress(p)) {
+    mgr.end_shared();
+    for (const std::exception_ptr& e : failures) {
+      if (e) std::rethrow_exception(e);  // First shard's defect wins.
+    }
+    for (std::vector<SignalRow>& chunk : chunk_rows) {
+      for (SignalRow& row : chunk) result.signals.push_back(std::move(row));
+    }
+    if (cancelled.load()) {
       result.cancelled = true;
       result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
       result.total_ms = ms_since(t_run);
@@ -249,8 +359,9 @@ SuiteResult Engine::run(const CoverageRequest& request,
                         const RunHooks& hooks) const {
   // One-shot runs are a one-job batch: submit to a single-worker
   // executor and wait, so this path and covest_batch execute the same
-  // pipeline code. The request's sharding hint is moot here — the
-  // executor clamps shards to its one worker, which is the serial path.
+  // pipeline code. A sharded request still fans out here: the session
+  // spawns its own estimator threads after verifying once, so the one
+  // worker is no longer the concurrency ceiling.
   Executor executor{ExecutorOptions{1, nullptr}};
   JobHooks job_hooks;
   job_hooks.on_progress = hooks.on_progress;

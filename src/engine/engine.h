@@ -26,9 +26,10 @@
 // Progress and cancellation: `RunHooks::on_progress` is invoked after
 // every pipeline step at per-property and per-signal granularity;
 // returning false cancels the run, which finishes with the results
-// computed so far and `SuiteResult::cancelled = true`. The planned
-// multi-threaded sharded manager (ROADMAP) will report through the same
-// hook, so callers written against this API today stay valid.
+// computed so far and `SuiteResult::cancelled = true`. Sharded runs
+// (`CoverageRequest::shards > 1`) report through the same hook — chunk
+// 0's rows drive it — plus `RunHooks::on_shard_row` for every chunk's
+// rows, so callers written against the serial API stay valid.
 #pragma once
 
 #include <cstddef>
@@ -83,6 +84,38 @@ struct PropertySpec {
   }
 };
 
+/// How a sharded request (shards > 1) is executed.
+enum class ShardMode {
+  /// One session, one shared BddManager: the model is parsed, elaborated
+  /// and verified exactly once, and only the per-signal estimation rows
+  /// fan out across up to `shards` estimator threads (bdd.h shared
+  /// mode). The default — verification cost is paid once per suite.
+  kSharedManager,
+  /// Each shard is an independent executor task with its own manager
+  /// and re-verifies the whole suite (verification cost × shards, zero
+  /// lock contention). Kept for benchmarking the trade-off against
+  /// kSharedManager; results are byte-identical either way.
+  kReplicated,
+};
+
+/// Hard cap on estimator threads per suite: an untrusted request's
+/// `shards` value must bound thread creation, not the other way around.
+inline constexpr std::size_t kMaxEstimatorThreads = 32;
+
+/// The estimator-thread count a sharded request actually gets: clamped
+/// to the number of signal rows (spare threads would idle) and to
+/// `kMaxEstimatorThreads`; at least 1.
+std::size_t effective_shards(std::size_t requested, std::size_t rows);
+
+/// Contiguous chunk [first, last) of `total` rows owned by `shard` of
+/// `shards`. Chunked (not strided) assignment keeps
+/// concatenation-in-shard-order equal to request order even for partial
+/// (cancelled) shards. Shared by the session's in-manager fan-out and
+/// the executor's replicated sharding.
+std::pair<std::size_t, std::size_t> shard_chunk_range(std::size_t total,
+                                                      std::size_t shard,
+                                                      std::size_t shards);
+
 /// Declarative description of one suite job.
 struct CoverageRequest {
   // -- Model source: exactly one of the three -------------------------------
@@ -114,14 +147,14 @@ struct CoverageRequest {
   std::size_t uncovered_limit = 4;
   /// Compute a shortest input trace to an uncovered state per signal row.
   bool want_traces = false;
-  /// Intra-suite signal sharding (executor runs only): split the signal
-  /// rows across up to this many worker sessions (clamped to the
-  /// executor's worker count). Each shard re-verifies the suite against
-  /// its own BDD manager; rows are merged back in request order and are
-  /// bit-identical to the serial path. `Session::run` ignores the field,
-  /// and `Engine::run`'s one-worker executor clamps it to 1 — both are
-  /// the serial path.
+  /// Intra-suite signal sharding: split the signal rows across up to
+  /// this many estimator threads (see `effective_shards` for the
+  /// clamp). Under the default `ShardMode::kSharedManager`,
+  /// `Session::run` itself fans the rows out over one shared manager
+  /// after verifying the suite exactly once; rows are merged back in
+  /// request order and are bit-identical to the serial path.
   std::size_t shards = 1;
+  ShardMode shard_mode = ShardMode::kSharedManager;
 };
 
 /// The effective property suite of a request on its model: the request's
@@ -184,6 +217,12 @@ struct PhaseStats {
   std::size_t live_nodes = 0;
   std::size_t peak_live_nodes = 0;
   double cache_hit_rate = 0.0;  ///< Computed-cache hit rate, cumulative.
+  /// How many times this phase actually executed for the job: 1 for a
+  /// serial or shared-manager run (the whole point of the shared-manager
+  /// sharding is verify.passes == 1), one per shard that elaborated for
+  /// a replicated sharded run, 0 when the phase never ran (errors,
+  /// early cancellation).
+  std::size_t passes = 0;
 };
 
 /// Structured outcome of a whole suite run.
@@ -239,8 +278,19 @@ struct Progress {
 /// returns the partial SuiteResult with `cancelled` set.
 using ProgressFn = std::function<bool(const Progress&)>;
 
+/// Per-row callback of a sharded (shared-manager) run: fires once per
+/// completed signal row from the estimating thread, with the shard
+/// (chunk) index — including chunk 0, whose rows also drive
+/// `on_progress`. Return false to cancel the whole run. Called
+/// concurrently from different shards; the callee synchronizes.
+using ShardRowFn = std::function<bool(std::size_t shard, const Progress&)>;
+
 struct RunHooks {
+  /// The serial progress contract: elaborate/verify ticks, then — in a
+  /// serial run — one tick per signal row; in a sharded run only chunk
+  /// 0's rows tick here (the other chunks report via `on_shard_row`).
   ProgressFn on_progress;
+  ShardRowFn on_shard_row;
 };
 
 // ---------------------------------------------------------------------------
@@ -262,10 +312,22 @@ class Session {
   core::CoverageEstimator& estimator() { return estimator_; }
 
   /// Runs the suite part of `request` against this session's model (the
-  /// request's model source is ignored).
+  /// request's model source is ignored). When `request.shards > 1` the
+  /// pipeline still parses/elaborates/verifies exactly once, then fans
+  /// the per-signal estimation rows out across `effective_shards`
+  /// estimator threads sharing this session's BDD manager (bdd.h shared
+  /// mode); the merged rows are byte-identical to a serial run. The
+  /// manager is exclusive again (owned by the calling thread) when
+  /// `run` returns.
   SuiteResult run(const CoverageRequest& request, const RunHooks& hooks = {});
 
  private:
+  SignalRow estimate_row(const CoverageRequest& request,
+                         const std::string& name,
+                         const std::vector<PropertySpec>& specs,
+                         const std::vector<ctl::Formula>& formulas,
+                         const std::vector<PropertyResult>& outcomes);
+
   fsm::SymbolicFsm fsm_;
   ctl::ModelChecker checker_;
   core::CoverageEstimator estimator_;

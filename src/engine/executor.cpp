@@ -23,7 +23,15 @@ struct JobState {
   JobHooks hooks;
   JobEventFn executor_event;  ///< Executor-wide tap (may be empty).
 
+  /// Executor tasks for this job: 1 for serial and shared-manager
+  /// sharded jobs (the session fans estimation threads out itself),
+  /// the clamped shard count for replicated sharding.
   std::size_t shard_count = 1;
+  /// Shard count reported on events: the effective estimator-thread
+  /// count for shared-manager jobs (set by the worker once the signal
+  /// rows are resolved, before any estimation event fires), else
+  /// `shard_count`.
+  std::size_t event_shards = 1;
   std::atomic<bool> cancel{false};
   /// A shard hit an error: sibling shards abort early — their rows
   /// would be dropped anyway, because an errored job reports error-only
@@ -49,7 +57,7 @@ struct JobState {
   /// exceptions are swallowed here — the documented contract.
   void emit(JobEvent event) const {
     event.job = id;
-    event.shards = shard_count;
+    event.shards = event_shards;
     if (hooks.on_event) {
       try {
         hooks.on_event(event);
@@ -93,21 +101,26 @@ void validate_request(const CoverageRequest& request, const model::Model& m,
   }
 }
 
-/// The contiguous chunk of `names` owned by `shard` of `shards`. Chunked
-/// (not strided) assignment keeps concatenation-in-shard-order equal to
-/// request order even for partial (cancelled) shards.
+/// The contiguous chunk of `names` owned by `shard` of `shards`
+/// (replicated mode only; the shared-manager path chunks row indices
+/// through the same engine::shard_chunk_range).
 std::vector<std::string> shard_chunk(const std::vector<std::string>& names,
                                      std::size_t shard, std::size_t shards) {
-  const std::size_t base = names.size() / shards;
-  const std::size_t rem = names.size() % shards;
-  const std::size_t begin = shard * base + std::min(shard, rem);
-  const std::size_t count = base + (shard < rem ? 1 : 0);
-  return {names.begin() + begin, names.begin() + begin + count};
+  const auto [first, last] = shard_chunk_range(names.size(), shard, shards);
+  return {names.begin() + first, names.begin() + last};
 }
 
-/// Runs one shard of one job on the calling (worker) thread. Everything
-/// symbolic — manager, FSM, session — is constructed locally; only the
-/// JobState slots are shared. Never throws.
+/// Runs one task of one job on the calling (worker) thread.
+///
+/// For a serial or shared-manager job this is the job's only task: the
+/// session is built ONCE, verification runs ONCE, and (for shards > 1)
+/// `Session::run` fans the estimation rows out across estimator threads
+/// over the session's shared BDD manager. For a replicated sharded job
+/// (ShardMode::kReplicated) each task builds its own session and
+/// re-verifies, exactly as before PR 4 — the benchmark baseline.
+///
+/// Everything symbolic — manager, FSM, session — is owned by this job;
+/// only the JobState slots are shared with other workers. Never throws.
 SuiteResult run_shard(JobState& job, std::size_t shard) {
   const auto t0 = Clock::now();
   SuiteResult result;
@@ -130,10 +143,26 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
     const std::vector<std::string> names =
         resolve_signal_names(job.request, m);
 
+    // Replicated sharding splits the *signals* across independent tasks
+    // (each re-verifies on its own manager); the shared-manager path
+    // hands the whole row list to one session and lets it fan the rows
+    // out across estimator threads. Gate on the requested MODE, not the
+    // clamped task count: a replicated request on a 1-worker executor
+    // collapses to one serial task — it must not silently fall through
+    // to the shared-manager fan-out it opted out of.
+    const bool replicated =
+        job.request.shard_mode == ShardMode::kReplicated;
     CoverageRequest shard_request = job.request;
-    shard_request.signals = job.shard_count > 1
-                                ? shard_chunk(names, shard, job.shard_count)
-                                : names;
+    if (replicated) {
+      shard_request.signals = job.shard_count > 1
+                                  ? shard_chunk(names, shard, job.shard_count)
+                                  : names;
+      shard_request.shards = 1;  // Each replica estimates serially.
+    } else {
+      shard_request.signals = names;
+      job.event_shards = std::max<std::size_t>(
+          1, effective_shards(job.request.shards, names.size()));
+    }
     // A trailing shard of a small suite may own no rows; the suite's
     // verification outcome comes from shard 0, so there is nothing to do.
     if (shard != 0 && shard_request.signals.empty()) return result;
@@ -165,35 +194,44 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
     }
 
     RunHooks session_hooks;
-    bool estimating = false;
+    // Touched by the worker (verify ticks) and, in a sharded run, the
+    // session's estimator threads (row callbacks) — hence atomic.
+    std::atomic<bool> estimating{false};
     const std::size_t row_count = shard_request.signals.size();
+    const bool sharded_rows = !replicated && job.event_shards > 1;
     const auto emit_estimating = [&job, shard, &estimating, row_count] {
-      estimating = true;
+      if (estimating.exchange(true)) return;
       JobEvent ev;
       ev.kind = JobEvent::Kind::kEstimating;
       ev.shard = shard;
       ev.progress.phase = Progress::Phase::kEstimate;
-      ev.progress.total = row_count;  ///< This shard's rows.
+      ev.progress.total = row_count;  ///< This task's rows.
       job.emit(ev);
     };
-    session_hooks.on_progress = [&job, shard, &estimating,
-                                 &emit_estimating](const Progress& p) {
+    session_hooks.on_progress = [&job, shard, &estimating, &emit_estimating,
+                                 sharded_rows](const Progress& p) {
       if (p.phase == Progress::Phase::kVerify ||
           p.phase == Progress::Phase::kEstimate) {
         // Estimation begins when the last property has been verified
         // (the zero-property fallback fires before the first row tick).
-        if (p.phase == Progress::Phase::kEstimate && !estimating) {
+        if (p.phase == Progress::Phase::kEstimate &&
+            !estimating.load(std::memory_order_relaxed)) {
           emit_estimating();
         }
-        JobEvent ev;
-        ev.kind = p.phase == Progress::Phase::kVerify
-                      ? JobEvent::Kind::kVerifying
-                      : JobEvent::Kind::kRowDone;
-        ev.shard = shard;
-        ev.progress = p;
-        job.emit(ev);
+        // Sharded rows report through on_shard_row below (which sees
+        // every chunk); emitting chunk 0's ticks here too would
+        // double-count them.
+        if (!(sharded_rows && p.phase == Progress::Phase::kEstimate)) {
+          JobEvent ev;
+          ev.kind = p.phase == Progress::Phase::kVerify
+                        ? JobEvent::Kind::kVerifying
+                        : JobEvent::Kind::kRowDone;
+          ev.shard = shard;
+          ev.progress = p;
+          job.emit(ev);
+        }
         if (p.phase == Progress::Phase::kVerify && p.index == p.total &&
-            !estimating) {
+            !estimating.load(std::memory_order_relaxed)) {
           emit_estimating();
         }
       }
@@ -205,6 +243,19 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
       return keep_going && !job.cancel.load(std::memory_order_relaxed) &&
              !job.failed.load(std::memory_order_relaxed);
     };
+    if (sharded_rows) {
+      session_hooks.on_shard_row = [&job, &emit_estimating](
+                                       std::size_t chunk, const Progress& p) {
+        emit_estimating();
+        JobEvent ev;
+        ev.kind = JobEvent::Kind::kRowDone;
+        ev.shard = chunk;
+        ev.progress = p;
+        job.emit(ev);
+        return !job.cancel.load(std::memory_order_relaxed) &&
+               !job.failed.load(std::memory_order_relaxed);
+      };
+    }
 
     result = session->run(shard_request, session_hooks);
     result.elaborate.ms = elaborate_ms;
@@ -235,13 +286,19 @@ SuiteResult merge_shards(JobState& job) {
     if (merged.error.empty() && !r.error.empty()) merged.error = r.error;
     merged.cancelled = merged.cancelled || r.cancelled;
     merged.total_ms = std::max(merged.total_ms, r.total_ms);
-    // Report the CPU actually spent: every shard elaborates and
-    // re-verifies the whole suite, so phase times sum across shards
-    // (node counts stay shard 0's — pools are per-manager and do not
-    // add up meaningfully).
+    // Report the CPU actually spent: every replicated shard elaborates
+    // and re-verifies the whole suite, so phase times — and the `passes`
+    // counters, the observable "verification ran K times" record — sum
+    // across shards (node counts stay shard 0's; pools are per-manager
+    // and do not add up meaningfully). Shared-manager jobs never get
+    // here with more than one result: their single session verified
+    // once and reports passes == 1.
     merged.elaborate.ms += r.elaborate.ms;
     merged.verify.ms += r.verify.ms;
     merged.estimate.ms += r.estimate.ms;
+    merged.elaborate.passes += r.elaborate.passes;
+    merged.verify.passes += r.verify.passes;
+    merged.estimate.passes += r.estimate.passes;
   }
   if (!merged.error.empty()) {
     // Error-only, exactly like the serial path (which fails before
@@ -398,12 +455,17 @@ JobHandle Executor::submit(CoverageRequest request, JobHooks hooks) {
   state->request = std::move(request);
   state->hooks = std::move(hooks);
   state->executor_event = impl_->on_event;
-  // Clamp the sharding request to the pool width: shards beyond the
-  // worker count cannot run concurrently and would only multiply the
-  // per-shard re-verification cost — and an untrusted request with an
-  // absurd count must not translate into unbounded task allocation.
-  state->shard_count = std::clamp<std::size_t>(state->request.shards, 1,
-                                               threads_.size());
+  // A shared-manager sharded job is ONE task: the session spawns its own
+  // estimator threads after verifying once (`effective_shards` bounds
+  // them by the row count, so an absurd request cannot spawn unbounded
+  // threads). Replicated sharding still multiplies tasks and is clamped
+  // to the pool width — extra replicas could not run concurrently and
+  // would only multiply the re-verification cost.
+  state->shard_count =
+      state->request.shard_mode == ShardMode::kReplicated
+          ? std::clamp<std::size_t>(state->request.shards, 1, threads_.size())
+          : 1;
+  state->event_shards = state->shard_count;
   state->shard_results.resize(state->shard_count);
 
   {

@@ -3,12 +3,12 @@
 //
 // The paper's workflow is many suites × many observed signals; this is
 // the subsystem that serves it at scale. An `Executor` owns a pool of
-// `std::thread` workers, each of which builds its jobs' BDD state
-// *locally*: one job (or one shard of a job) gets one single-threaded
-// `BddManager`/FSM/`Session` constructed and used entirely on the
-// worker thread, respecting the bdd.h thread-safety contract. There is
-// no shared mutable symbolic state between workers — only the job queue
-// and result slots are synchronized.
+// `std::thread` workers; each job builds its BDD state *locally*: one
+// `BddManager`/FSM/`Session` constructed on the worker thread. Between
+// jobs there is no shared mutable symbolic state — only the job queue
+// and result slots are synchronized. *Within* a sharded job, the
+// session's manager enters bdd.h shared mode for the estimation phase
+// (below).
 //
 //   engine::Executor ex(engine::ExecutorOptions{4});
 //   engine::JobHandle a = ex.submit(request_a);
@@ -19,17 +19,21 @@
 // submit order regardless of which worker finishes first, and every row
 // of every result is bit-identical to the serial `Engine::run` path.
 //
-// Signal sharding: a request with `shards = K > 1` splits its signal
-// rows across up to K sessions. Each shard re-verifies the suite
-// against its own manager (verification is the price of independence —
-// the satisfaction sets cannot be shared across managers), estimates a
-// contiguous chunk of the rows, and the chunks are concatenated back in
-// request order. Completed runs are bit-identical to serial; a
-// *cancelled* sharded run keeps each shard's prefix, so the partial row
-// list may have interior gaps (row order is still request order) —
-// unlike the serial path, whose partial result is always one prefix.
-// Merged phase stats sum the per-shard times (every shard re-verifies),
-// while node counts are shard 0's.
+// Signal sharding: a request with `shards = K > 1` under the default
+// `ShardMode::kSharedManager` stays ONE job on ONE worker — the model
+// is parsed, elaborated and verified exactly once — and only the
+// per-signal estimation rows fan out across `effective_shards`
+// estimator threads sharing that session's BddManager. The legacy
+// `ShardMode::kReplicated` instead splits the rows across up to K
+// independent tasks that each re-verify on their own manager (kept as
+// the benchmark baseline; `BENCH_engine.json` records both). Either
+// way, chunks concatenate back in request order and completed runs are
+// bit-identical to serial; a *cancelled* sharded run keeps each chunk's
+// prefix, so the partial row list may have interior gaps (row order is
+// still request order) — unlike the serial path, whose partial result
+// is always one prefix. `SuiteResult` phase stats expose the
+// difference: `verify.passes` is 1 for a shared-manager run and the
+// number of elaborated shards for a replicated one.
 //
 // Errors: nothing a job does throws out of a worker. Model/CTL parse
 // errors, unknown signals and missing model sources all surface as
@@ -73,8 +77,9 @@ struct JobEvent {
   };
   std::uint64_t job = 0;  ///< Monotonic per-executor job id (submit order).
   Kind kind = Kind::kQueued;
-  std::size_t shard = 0;   ///< Shard that produced the event.
-  std::size_t shards = 1;  ///< Total shards of this job.
+  std::size_t shard = 0;   ///< Shard (estimator chunk) that produced it.
+  std::size_t shards = 1;  ///< Effective shards of this job (kQueued may
+                           ///< still report 1: rows aren't resolved yet).
   Progress progress;       ///< Valid for kVerifying/kEstimating/kRowDone.
   bool cancelled = false;  ///< kFinished: the job was cancelled.
   std::string error;       ///< kFinished: the job's structured error.
@@ -158,11 +163,11 @@ class Executor {
 
   std::size_t worker_count() const { return threads_.size(); }
 
-  /// Enqueues one suite job (request.shards > 1 enqueues its shards,
-  /// clamped to the worker count — extra shards could not run
-  /// concurrently and would only multiply re-verification cost).
-  /// Never throws for request defects — they come back as
-  /// `SuiteResult::error` on the handle.
+  /// Enqueues one suite job. A sharded request under the default
+  /// shared-manager mode stays one task (its session spawns the
+  /// estimator threads); replicated sharding enqueues its shards,
+  /// clamped to the worker count. Never throws for request defects —
+  /// they come back as `SuiteResult::error` on the handle.
   JobHandle submit(CoverageRequest request, JobHooks hooks = {});
 
   /// Convenience barrier: submits every request, waits, and returns the

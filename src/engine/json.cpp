@@ -151,7 +151,11 @@ class Parser {
         fail("unescaped control character in string");
       }
       if (c != '\\') {
-        out.push_back(c);
+        if (static_cast<unsigned char>(c) < 0x80) {
+          out.push_back(c);
+        } else {
+          append_utf8_sequence(out, c);
+        }
         continue;
       }
       const char esc = next();
@@ -188,6 +192,52 @@ class Parser {
           fail("bad escape character");
       }
     }
+  }
+
+  /// RFC 3629 validation of a raw (non-escaped) multi-byte sequence
+  /// starting with `first`: rejects truncated sequences, bare
+  /// continuation bytes, overlong encodings (0xc0/0xc1 leads and
+  /// under-length codes), UTF-8-encoded surrogates and code points past
+  /// U+10FFFF. RFC 8259 §8.1 requires UTF-8; a batch driver fed a
+  /// mangled NDJSON line must answer with an error line, not propagate
+  /// invalid bytes into its output stream.
+  void append_utf8_sequence(std::string& out, char first) {
+    const unsigned char b0 = static_cast<unsigned char>(first);
+    unsigned tail = 0;
+    unsigned code = 0;
+    unsigned min_code = 0;
+    if (b0 < 0xc2) {
+      // 0x80-0xbf: continuation byte with no lead; 0xc0/0xc1: overlong.
+      fail("invalid UTF-8 lead byte in string");
+    } else if (b0 < 0xe0) {
+      tail = 1;
+      code = b0 & 0x1fu;
+      min_code = 0x80;
+    } else if (b0 < 0xf0) {
+      tail = 2;
+      code = b0 & 0x0fu;
+      min_code = 0x800;
+    } else if (b0 < 0xf5) {
+      tail = 3;
+      code = b0 & 0x07u;
+      min_code = 0x10000;
+    } else {
+      fail("invalid UTF-8 lead byte in string");
+    }
+    out.push_back(first);
+    for (unsigned i = 0; i < tail; ++i) {
+      if (pos_ >= text_.size() ||
+          (static_cast<unsigned char>(text_[pos_]) & 0xc0u) != 0x80u) {
+        fail("truncated UTF-8 sequence in string");
+      }
+      code = (code << 6) | (static_cast<unsigned char>(text_[pos_]) & 0x3fu);
+      out.push_back(next());
+    }
+    if (code < min_code) fail("overlong UTF-8 encoding in string");
+    if (code >= 0xd800 && code <= 0xdfff) {
+      fail("UTF-8-encoded surrogate in string");
+    }
+    if (code > 0x10ffff) fail("UTF-8 code point out of range");
   }
 
   unsigned read_hex4() {

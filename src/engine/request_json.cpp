@@ -139,6 +139,10 @@ std::string to_json(const CoverageRequest& request,
   w.field_count("uncovered_limit", request.uncovered_limit);
   w.field_bool("want_traces", request.want_traces);
   w.field_count("shards", request.shards);
+  w.field_string("shard_mode",
+                 request.shard_mode == ShardMode::kReplicated
+                     ? "replicated"
+                     : "shared_manager");
   return w.finish();
 }
 
@@ -294,6 +298,15 @@ CoverageRequest request_from_json(const std::string& text) {
     } else if (key == "shards") {
       request.shards = as_count(value, "shards");
       if (request.shards == 0) schema_fail("'shards' must be >= 1");
+    } else if (key == "shard_mode") {
+      const std::string& mode = as_string(value, "shard_mode");
+      if (mode == "shared_manager") {
+        request.shard_mode = ShardMode::kSharedManager;
+      } else if (mode == "replicated") {
+        request.shard_mode = ShardMode::kReplicated;
+      } else {
+        schema_fail("'shard_mode' must be 'shared_manager' or 'replicated'");
+      }
     } else {
       schema_fail("unknown key '" + key + "'");
     }

@@ -133,6 +133,8 @@ void write_phase(JsonWriter& w, const PhaseStats& phase) {
   w.number(static_cast<std::uint64_t>(phase.peak_live_nodes));
   w.key("cache_hit_rate");
   w.number(phase.cache_hit_rate);
+  w.key("passes");
+  w.number(static_cast<std::uint64_t>(phase.passes));
   w.end_object();
 }
 

@@ -164,6 +164,9 @@ void SymbolicFsm::build_schedules() {
 }
 
 const Bdd& SymbolicFsm::transition_relation() const {
+  // Engaged at most once; the lock makes the lazy build safe if a
+  // shared-mode estimator thread ever asks for the monolithic relation.
+  std::lock_guard<std::mutex> lock(monolithic_mu_);
   if (!monolithic_) {
     Bdd t = mgr_->bdd_true();
     for (const Bdd& p : parts_) t &= p;

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -153,6 +154,7 @@ class SymbolicFsm {
   bdd::Bdd init_;
   std::vector<bdd::Bdd> fairness_;
   bdd::Bdd dontcare_;
+  mutable std::mutex monolithic_mu_;
   mutable std::optional<bdd::Bdd> monolithic_;
 };
 

@@ -1,0 +1,76 @@
+// Shared popen/CLI helpers for the integration tests that drive the
+// real binaries (engine_cli_test, covest_batch_cli_test): run a shell
+// command and capture exit code + output, resolve example-model paths,
+// write manifests into the test temp dir, split captured NDJSON into
+// lines. Header-only; include from tests/ only.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace covest::testutil {
+
+struct RunOutcome {
+  int exit_code = -1;
+  /// Captured stdout of the command. Whether stderr is folded in or
+  /// discarded is the caller's choice via the command's redirection
+  /// (batch tests keep NDJSON pure with `2>/dev/null`; CLI tests
+  /// interleave with `2>&1`).
+  std::string output;
+};
+
+/// Runs `cmd` through popen and captures stdout until EOF.
+inline RunOutcome run_shell(const std::string& cmd) {
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  RunOutcome outcome;
+  if (pipe == nullptr) return outcome;
+  std::array<char, 4096> buf;
+  std::size_t n;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    outcome.output.append(buf.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  outcome.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return outcome;
+}
+
+#ifdef COVEST_SOURCE_DIR
+/// Absolute path of one of the checked-in example models.
+inline std::string model_path(const char* name) {
+  return std::string(COVEST_SOURCE_DIR) + "/examples/models/" + name;
+}
+#endif
+
+/// Writes a covest_batch manifest of the given lines into the test's
+/// temp dir and returns its path.
+inline std::string write_manifest(const std::vector<std::string>& lines) {
+  const std::string path = ::testing::TempDir() + "covest_batch_manifest.txt";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << "# test manifest\n\n";
+  for (const std::string& l : lines) out << l << "\n";
+  return path;
+}
+
+/// Splits captured output on '\n' (no trailing empty line entry).
+inline std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(begin));
+      break;
+    }
+    lines.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace covest::testutil

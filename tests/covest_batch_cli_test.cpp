@@ -3,14 +3,11 @@
 // serial engine, structured error lines and exit codes.
 #include <gtest/gtest.h>
 
-#include <sys/wait.h>
-
-#include <array>
-#include <cstdio>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "cli_harness.h"
 #include "engine/engine.h"
 #include "engine/result_json.h"
 
@@ -19,57 +16,16 @@ namespace {
 
 #if defined(COVEST_BATCH_TOOL_PATH) && defined(COVEST_SOURCE_DIR)
 
-struct RunOutcome {
-  int exit_code = -1;
-  std::string output;  ///< stdout only (stderr separate keeps NDJSON pure).
-};
+using testutil::RunOutcome;
+using testutil::model_path;
+using testutil::run_shell;
+using testutil::split_lines;
+using testutil::write_manifest;
 
-RunOutcome run_shell(const std::string& cmd) {
-  std::FILE* pipe = ::popen(cmd.c_str(), "r");
-  RunOutcome outcome;
-  if (pipe == nullptr) return outcome;
-  std::array<char, 4096> buf;
-  std::size_t n;
-  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
-    outcome.output.append(buf.data(), n);
-  }
-  const int status = ::pclose(pipe);
-  outcome.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-  return outcome;
-}
-
+/// stdout only (stderr discarded keeps the captured NDJSON pure).
 RunOutcome run_batch(const std::string& args) {
   return run_shell(std::string(COVEST_BATCH_TOOL_PATH) + " " + args +
                    " 2>/dev/null");
-}
-
-std::string model_path(const char* name) {
-  return std::string(COVEST_SOURCE_DIR) + "/examples/models/" + name;
-}
-
-/// Writes a manifest of the given lines into the test's temp dir.
-std::string write_manifest(const std::vector<std::string>& lines) {
-  const std::string path =
-      ::testing::TempDir() + "covest_batch_manifest.txt";
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << "# test manifest\n\n";
-  for (const std::string& l : lines) out << l << "\n";
-  return path;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::size_t begin = 0;
-  while (begin < text.size()) {
-    const std::size_t end = text.find('\n', begin);
-    if (end == std::string::npos) {
-      lines.push_back(text.substr(begin));
-      break;
-    }
-    lines.push_back(text.substr(begin, end - begin));
-    begin = end + 1;
-  }
-  return lines;
 }
 
 TEST(CovestBatchCliTest, ManifestModeEmitsOneValidJsonLinePerModel) {

@@ -3,12 +3,9 @@
 // argument parsing, and that --json output parses.
 #include <gtest/gtest.h>
 
-#include <sys/wait.h>
-
-#include <array>
-#include <cstdio>
 #include <string>
 
+#include "cli_harness.h"
 #include "engine/result_json.h"
 
 namespace covest {
@@ -16,29 +13,13 @@ namespace {
 
 #if defined(COVEST_COVERAGE_TOOL_PATH) && defined(COVEST_SOURCE_DIR)
 
-struct RunOutcome {
-  int exit_code = -1;
-  std::string output;  ///< stdout + stderr, interleaved.
-};
+using testutil::RunOutcome;
+using testutil::model_path;
 
+/// stdout + stderr, interleaved.
 RunOutcome run_tool(const std::string& args) {
-  const std::string cmd =
-      std::string(COVEST_COVERAGE_TOOL_PATH) + " " + args + " 2>&1";
-  std::FILE* pipe = ::popen(cmd.c_str(), "r");
-  RunOutcome outcome;
-  if (pipe == nullptr) return outcome;
-  std::array<char, 4096> buf;
-  std::size_t n;
-  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
-    outcome.output.append(buf.data(), n);
-  }
-  const int status = ::pclose(pipe);
-  outcome.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-  return outcome;
-}
-
-std::string model_path(const char* name) {
-  return std::string(COVEST_SOURCE_DIR) + "/examples/models/" + name;
+  return testutil::run_shell(std::string(COVEST_COVERAGE_TOOL_PATH) + " " +
+                             args + " 2>&1");
 }
 
 TEST(CoverageToolCliTest, JsonOutputParses) {

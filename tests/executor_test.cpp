@@ -119,9 +119,9 @@ TEST(ExecutorShardingTest, ShardedSuiteIsBitIdenticalToSerial) {
 }
 
 TEST(ExecutorShardingTest, ShardedCoveredHandlesStayLive) {
-  // Rows merged from different shard sessions keep their covered-set
-  // handles valid: the merged result retains every shard session, and
-  // take() rebinds all managers to the consuming thread.
+  // Rows estimated on different shard threads keep their covered-set
+  // handles valid: the merged result retains the (single, shared)
+  // session, and take() rebinds its manager to the consuming thread.
   CoverageRequest req = path_request("arbiter.cov");
   req.shards = 2;
   Executor ex{ExecutorOptions{2, nullptr}};
@@ -149,7 +149,9 @@ TEST(ExecutorShardingTest, MoreShardsThanSignalsIsHarmless) {
 
 TEST(ExecutorShardingTest, AbsurdShardCountsAreClampedToThePool) {
   // An untrusted NDJSON request must not translate a huge shards value
-  // into unbounded task allocation: shards clamp to the worker count.
+  // into unbounded thread creation: effective_shards clamps to the
+  // signal-row count (and kMaxEstimatorThreads), so the job still runs
+  // and still matches the serial result byte for byte.
   CoverageRequest req = path_request("arbiter.cov");
   req.shards = 1000000000;
   Executor ex{ExecutorOptions{2, nullptr}};

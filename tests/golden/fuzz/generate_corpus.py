@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Regenerates the shared malformed-input corpus.
+
+The corpus is the fixture set for request_json_test's corpus-driven
+tests: every file in bad_json/ must be rejected by BOTH the RFC 8259
+validator (engine::validate_json) and the request parser; bad_request/
+holds grammar-valid JSON the request schema rejects; good_json/ must
+validate; good_request/ must survive both parsers. Run this script from
+the repo root after changing the parser's limits (e.g. the nesting
+depth) and commit the result.
+"""
+import os
+
+base = os.path.dirname(os.path.abspath(__file__))
+for d in ('bad_json', 'bad_request', 'good_json', 'good_request'):
+    os.makedirs(os.path.join(base, d), exist_ok=True)
+
+
+def w(rel, data):
+    mode = 'wb' if isinstance(data, bytes) else 'w'
+    with open(os.path.join(base, rel), mode) as f:
+        f.write(data)
+
+
+# ---- bad_json: rejected by the RFC 8259 parser itself (and therefore
+# by both the request parser and validate_json). ----
+w('bad_json/empty.json', '')
+w('bad_json/not_json.json', 'not json')
+w('bad_json/truncated_object.json', '{')
+w('bad_json/truncated_string.json', '{"model_path": "m.co')
+w('bad_json/trailing_comma.json', '{"model_path": "m.cov",}')
+w('bad_json/trailing_content.json', '{"model_path": "m.cov"} trailing')
+w('bad_json/leading_zero.json', '[01]')
+w('bad_json/plus_sign_number.json', '[+1]')
+w('bad_json/hex_number.json', '[0x10]')
+w('bad_json/bad_escape.json', r'{"model_path": "\x"}')
+w('bad_json/unescaped_control.json', b'{"model_path": "a\x01b"}')
+# NaN / Infinity spellings: valid in no RFC 8259 production.
+w('bad_json/nan.json', '{"uncovered_limit": NaN}')
+w('bad_json/nan_lowercase.json', '[nan]')
+w('bad_json/infinity.json', '[Infinity]')
+w('bad_json/neg_infinity.json', '[-Infinity]')
+w('bad_json/inf_short.json', '[inf]')
+# Lone surrogate escapes.
+w('bad_json/lone_high_surrogate.json', r'{"model_path": "\ud83d"}')
+w('bad_json/lone_low_surrogate.json', r'{"model_path": "\udca5"}')
+w('bad_json/surrogate_pair_backwards.json', r'{"model_path": "\udca5\ud83d"}')
+# Truncated / invalid raw UTF-8 byte sequences (RFC 8259 section 8.1).
+w('bad_json/utf8_truncated_2byte.json', b'{"model_path": "x\xc3"}')
+w('bad_json/utf8_truncated_3byte.json', b'{"model_path": "x\xe2\x82"}')
+w('bad_json/utf8_truncated_4byte.json', b'{"model_path": "x\xf0\x9f\x92"}')
+w('bad_json/utf8_bare_continuation.json', b'{"model_path": "\x80"}')
+w('bad_json/utf8_overlong_slash.json', b'{"model_path": "\xc0\xaf"}')
+w('bad_json/utf8_overlong_nul.json', b'{"model_path": "\xc0\x80"}')
+w('bad_json/utf8_raw_surrogate.json', b'{"model_path": "\xed\xa0\x80"}')
+w('bad_json/utf8_beyond_u10ffff.json', b'{"model_path": "\xf4\x90\x80\x80"}')
+w('bad_json/utf8_invalid_lead_f5.json', b'{"model_path": "\xf5\x80\x80\x80"}')
+# Nesting one past the parser's depth limit: kMaxDepth = 256, and the
+# innermost scalar occupies a level, so 256 arrays + the scalar = 257.
+w('bad_json/nesting_limit_plus_1.json', '[' * 256 + '1' + ']' * 256)
+
+# ---- bad_request: grammar-valid JSON the request schema rejects. ----
+w('bad_request/not_an_object_array.json', '[]')
+w('bad_request/not_an_object_string.json', '"model_path"')
+w('bad_request/null_model_path.json', '{"model_path": null}')
+w('bad_request/wrong_type_path.json', '{"model_path": 7}')
+w('bad_request/wrong_type_model.json', '{"model": false}')
+w('bad_request/wrong_type_signals.json', '{"signals": "g0"}')
+w('bad_request/wrong_element_type_signals.json', '{"signals": [1]}')
+w('bad_request/wrong_type_properties.json', '{"properties": {}}')
+w('bad_request/properties_not_objects.json', '{"properties": ["AG x"]}')
+w('bad_request/property_missing_ctl.json', '{"properties": [{"observe": []}]}')
+w('bad_request/property_unknown_key.json',
+  '{"properties": [{"ctl": "AG x", "extra": 1}]}')
+w('bad_request/wrong_type_options.json', '{"options": []}')
+w('bad_request/options_unknown_key.json', '{"options": {"fairness": true}}')
+w('bad_request/wrong_type_skip_failing.json', '{"skip_failing": "yes"}')
+w('bad_request/uncovered_negative.json', '{"uncovered_limit": -1}')
+w('bad_request/uncovered_fractional.json', '{"uncovered_limit": 1.5}')
+w('bad_request/uncovered_bool.json', '{"uncovered_limit": true}')
+w('bad_request/uncovered_saturated.json', '{"uncovered_limit": 1e999}')
+w('bad_request/shards_zero.json', '{"shards": 0}')
+w('bad_request/shard_mode_unknown.json', '{"shard_mode": "both"}')
+w('bad_request/shard_mode_wrong_type.json', '{"shard_mode": 2}')
+w('bad_request/unknown_top_level_key.json', '{"modle_path": "m.cov"}')
+# Duplicate keys (grammar-valid; the schema rejects two-jobs-at-once),
+# including duplicates buried in nested objects.
+w('bad_request/duplicate_top_level.json',
+  '{"model_path": "a.cov", "model_path": "b.cov"}')
+w('bad_request/duplicate_top_level_properties.json',
+  '{"properties": [], "properties": [{"ctl": "AG (x)"}]}')
+w('bad_request/duplicate_nested_options.json',
+  '{"options": {"restrict_to_fair": true, "restrict_to_fair": false}}')
+w('bad_request/duplicate_nested_property_ctl.json',
+  '{"properties": [{"ctl": "AG (x)", "ctl": "AG (y)"}]}')
+w('bad_request/duplicate_nested_property_observe.json',
+  '{"properties": [{"ctl": "AG (x)", "observe": [], "observe": ["x"]}]}')
+
+# ---- good_json: must validate as JSON (request-schema validity is a
+# separate question; some of these are deliberately not requests). ----
+# Exactly at the limit: 255 arrays + the innermost scalar = depth 256.
+w('good_json/nesting_at_limit_arrays.json', '[' * 255 + '1' + ']' * 255)
+w('good_json/nesting_below_limit_objects.json',
+  '{"a": ' * 255 + '1' + '}' * 255)
+w('good_json/surrogate_pair_escapes.json', '["\\ud83d\\udca5"]')
+w('good_json/huge_numbers.json', '[1e999, -1e999, 1e-999, -1e-999]')
+w('good_json/utf8_multibyte.json',
+  '["café", "€", "\U0001f4a5"]'.encode('utf-8'))
+w('good_json/escapes.json', r'["\"\\\/\b\f\n\r\t "]')
+
+# ---- good_request: must survive both parsers. ----
+w('good_request/minimal.json', '{"model_path": "m.cov"}')
+w('good_request/utf8_path.json',
+  '{"model_path": "mödel\U0001f44d.cov"}'.encode('utf-8'))
+w('good_request/full_sharded.json',
+  '{"model_path": "m.cov", "properties": [{"ctl": "AG (x)", '
+  '"observe": ["x"], "comment": "c"}], "signals": ["x"], '
+  '"options": {"restrict_to_fair": false, "exclude_dontcares": true}, '
+  '"skip_failing": true, "uncovered_limit": 0, "want_traces": true, '
+  '"shards": 4, "shard_mode": "replicated"}')
+w('good_request/shard_mode_shared.json',
+  '{"model_path": "m.cov", "shards": 2, "shard_mode": "shared_manager"}')
+
+for d in ('bad_json', 'bad_request', 'good_json', 'good_request'):
+    print(d, len(os.listdir(os.path.join(base, d))))

@@ -3,10 +3,13 @@
 // and the malformed-input rejection table.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 #include "engine/request_json.h"
@@ -121,47 +124,110 @@ TEST(RequestJsonTest, InMemoryModelRefusesToSerialize) {
 }
 
 // --------------------------------------------------------------------------
-// Malformed-input rejection table
+// Malformed-input corpus (tests/golden/fuzz/): one file per case, shared
+// by the request parser and the result-side validate_json. Regenerate
+// with tests/golden/fuzz/generate_corpus.py.
+//
+//   bad_json/     rejected by the RFC 8259 grammar itself (truncated
+//                 UTF-8, NaN/Inf spellings, depth limit + 1, lone
+//                 surrogates...) — both parsers must refuse.
+//   bad_request/  grammar-valid JSON the request schema refuses
+//                 (duplicate keys incl. nested objects, wrong types,
+//                 unknown keys, bad counts/modes).
+//   good_json/    must validate (depth exactly at the limit, huge
+//                 numbers, multi-byte UTF-8, surrogate pairs).
+//   good_request/ must survive both parsers.
 // --------------------------------------------------------------------------
 
-TEST(RequestJsonTest, RejectsMalformedInputs) {
-  const char* bad[] = {
-      "",                                     // Empty.
-      "not json",                             // Not JSON at all.
-      "[]",                                   // Not an object.
-      "\"model_path\"",                       // Not an object.
-      "{",                                    // Truncated.
-      R"({"model_path": "m.cov",})",          // Trailing comma.
-      R"({"model_path": 7})",                 // Wrong type: path.
-      R"({"model": false})",                  // Wrong type: source.
-      R"({"signals": "g0"})",                 // Wrong type: signals.
-      R"({"signals": [1]})",                  // Wrong element type.
-      R"({"properties": {}})",                // Wrong type: properties.
-      R"({"properties": ["AG x"]})",          // Entries must be objects.
-      R"({"properties": [{"observe": []}]})", // Missing ctl.
-      R"({"properties": [{"ctl": "AG x", "extra": 1}]})",  // Unknown key.
-      R"({"options": []})",                   // Wrong type: options.
-      R"({"options": {"fairness": true}})",   // Unknown option key.
-      R"({"skip_failing": "yes"})",           // Wrong type: bool.
-      R"({"uncovered_limit": -1})",           // Negative count.
-      R"({"uncovered_limit": 1.5})",          // Fractional count.
-      R"({"uncovered_limit": true})",         // Wrong type: count.
-      R"({"shards": 0})",                     // Sharding needs >= 1.
-      R"({"model_path": "m.cov"} trailing)",  // Trailing content.
-      R"({"modle_path": "m.cov"})",           // Unknown top-level key.
-      // Duplicate keys: the document describes two jobs at once.
-      R"({"model_path": "a.cov", "model_path": "b.cov"})",
-      R"json({"properties": [], "properties": [{"ctl": "AG (x)"}]})json",
-      R"({"options": {"restrict_to_fair": true, "restrict_to_fair": false}})",
-      R"json({"properties": [{"ctl": "AG (x)", "ctl": "AG (y)"}]})json",
-  };
-  for (const char* text : bad) {
-    CoverageRequest out;
-    std::string error;
-    EXPECT_FALSE(engine::parse_request(text, &out, &error))
-        << "accepted: " << text;
-    EXPECT_FALSE(error.empty()) << text;
+std::vector<std::filesystem::path> corpus_files(const char* subdir) {
+  const std::filesystem::path dir =
+      std::filesystem::path(COVEST_SOURCE_DIR) / "tests" / "golden" / "fuzz" /
+      subdir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
   }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(FuzzCorpusTest, BadJsonIsRejectedByBothParsers) {
+  const auto files = corpus_files("bad_json");
+  ASSERT_GE(files.size(), 25u);  // The corpus is present, not an empty dir.
+  for (const auto& path : files) {
+    const std::string text = read_file(path);
+    std::string error;
+    EXPECT_FALSE(engine::validate_json(text, &error))
+        << "validate_json accepted " << path.filename();
+    EXPECT_FALSE(error.empty()) << path.filename();
+    CoverageRequest out;
+    error.clear();
+    EXPECT_FALSE(engine::parse_request(text, &out, &error))
+        << "parse_request accepted " << path.filename();
+    EXPECT_FALSE(error.empty()) << path.filename();
+  }
+}
+
+TEST(FuzzCorpusTest, BadRequestsAreValidJsonButRejectedBySchema) {
+  const auto files = corpus_files("bad_request");
+  ASSERT_GE(files.size(), 20u);
+  for (const auto& path : files) {
+    const std::string text = read_file(path);
+    std::string error;
+    EXPECT_TRUE(engine::validate_json(text, &error))
+        << path.filename() << ": " << error;
+    CoverageRequest out;
+    EXPECT_FALSE(engine::parse_request(text, &out, &error))
+        << "parse_request accepted " << path.filename();
+    EXPECT_FALSE(error.empty()) << path.filename();
+  }
+}
+
+TEST(FuzzCorpusTest, GoodJsonValidates) {
+  const auto files = corpus_files("good_json");
+  ASSERT_GE(files.size(), 5u);
+  for (const auto& path : files) {
+    std::string error;
+    EXPECT_TRUE(engine::validate_json(read_file(path), &error))
+        << path.filename() << ": " << error;
+  }
+}
+
+TEST(FuzzCorpusTest, GoodRequestsSurviveBothParsersAndReserialize) {
+  const auto files = corpus_files("good_request");
+  ASSERT_GE(files.size(), 3u);
+  for (const auto& path : files) {
+    const std::string text = read_file(path);
+    std::string error;
+    EXPECT_TRUE(engine::validate_json(text, &error))
+        << path.filename() << ": " << error;
+    CoverageRequest out;
+    ASSERT_TRUE(engine::parse_request(text, &out, &error))
+        << path.filename() << ": " << error;
+    // Canonical form is a fixed point from any accepted spelling.
+    const std::string once = engine::to_json(out);
+    EXPECT_EQ(engine::to_json(engine::request_from_json(once)), once)
+        << path.filename();
+  }
+}
+
+TEST(FuzzCorpusTest, ShardModeRoundTripsThroughTheCorpusForms) {
+  const CoverageRequest replicated = engine::request_from_json(
+      read_file(corpus_files("good_request")[0].parent_path() /
+                "full_sharded.json"));
+  EXPECT_EQ(replicated.shard_mode, engine::ShardMode::kReplicated);
+  EXPECT_EQ(replicated.shards, 4u);
+  const CoverageRequest shared = engine::request_from_json(
+      read_file(corpus_files("good_request")[0].parent_path() /
+                "shard_mode_shared.json"));
+  EXPECT_EQ(shared.shard_mode, engine::ShardMode::kSharedManager);
 }
 
 TEST(RequestJsonTest, HostileNestingDepthIsRejectedNotACrash) {

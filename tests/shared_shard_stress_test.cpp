@@ -1,0 +1,366 @@
+// Concurrency battery for the shared sharded BddManager: repeated
+// randomized-order runs of every example model at shards = 1/2/4/K >
+// signals, asserting byte-identical `SuiteResult` JSON against the
+// serial engine and — the tentpole invariant — that the verification
+// phase ran exactly once per suite (`PhaseStats::passes`). Also
+// exercises the bdd.h shared mode directly (concurrent node
+// construction stays canonical; unregistered threads are rejected) and
+// the replicated baseline for contrast (its verify.passes counts every
+// shard). Built for the sanitizer CI matrix: every assertion here runs
+// under TSan and ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "engine/engine.h"
+#include "engine/executor.h"
+#include "engine/result_json.h"
+
+namespace covest {
+namespace {
+
+using engine::CoverageRequest;
+using engine::Engine;
+using engine::Executor;
+using engine::ExecutorOptions;
+using engine::JobHandle;
+using engine::ShardMode;
+using engine::SuiteResult;
+
+const char* kModels[] = {"counter.cov", "arbiter.cov", "handshake.cov",
+                         "shift.cov", "traffic.cov"};
+
+std::string model_path(const char* name) {
+  return std::string(COVEST_SOURCE_DIR) + "/examples/models/" + name;
+}
+
+/// Deterministic serialization (no stats) — the byte-level identity the
+/// sharded paths are held to.
+std::string canonical(const SuiteResult& r) {
+  engine::JsonOptions opts;
+  opts.include_stats = false;
+  return engine::to_json(r, opts);
+}
+
+CoverageRequest traced_request(const char* name, std::size_t shards,
+                               ShardMode mode = ShardMode::kSharedManager) {
+  CoverageRequest req;
+  req.model_path = model_path(name);
+  req.want_traces = true;  // Trace generation must also be shard-safe.
+  req.shards = shards;
+  req.shard_mode = mode;
+  return req;
+}
+
+/// Serial ground truth, computed once per model.
+const std::map<std::string, std::string>& serial_expectations() {
+  static const std::map<std::string, std::string> expected = [] {
+    std::map<std::string, std::string> out;
+    for (const char* m : kModels) {
+      out.emplace(m, canonical(Engine().run(traced_request(m, 1))));
+    }
+    return out;
+  }();
+  return expected;
+}
+
+// --------------------------------------------------------------------------
+// The tentpole invariant: verify once, rows byte-identical
+// --------------------------------------------------------------------------
+
+TEST(SharedShardStressTest, EveryModelEveryShardCountMatchesSerial) {
+  for (const char* m : kModels) {
+    // 9 > every example model's signal count: the K > signals case must
+    // clamp to the row count, not spawn idle threads or change results.
+    for (const std::size_t shards : {1u, 2u, 4u, 9u}) {
+      Executor ex{ExecutorOptions{4, nullptr}};
+      const SuiteResult r = ex.submit(traced_request(m, shards)).take();
+      EXPECT_TRUE(r.error.empty()) << m << ": " << r.error;
+      EXPECT_EQ(canonical(r), serial_expectations().at(m))
+          << m << " shards=" << shards;
+      // The point of the shared-manager sharding: one parse, one
+      // elaboration, one verification — regardless of the shard count.
+      EXPECT_EQ(r.elaborate.passes, 1u) << m << " shards=" << shards;
+      EXPECT_EQ(r.verify.passes, 1u) << m << " shards=" << shards;
+      EXPECT_EQ(r.estimate.passes, 1u) << m << " shards=" << shards;
+    }
+  }
+}
+
+TEST(SharedShardStressTest, VerifyingEventsFireOncePerProperty) {
+  // The event-stream view of the same invariant: a sharded suite emits
+  // exactly one kVerifying event per property (a replicated run would
+  // emit one per property per shard).
+  CoverageRequest req = traced_request("handshake.cov", 4);  // 3 properties.
+  std::atomic<std::size_t> verifying{0};
+  std::atomic<std::size_t> rows{0};
+  engine::JobHooks hooks;
+  hooks.on_event = [&](const engine::JobEvent& e) {
+    if (e.kind == engine::JobEvent::Kind::kVerifying) ++verifying;
+    if (e.kind == engine::JobEvent::Kind::kRowDone) ++rows;
+  };
+  Executor ex{ExecutorOptions{4, nullptr}};
+  const SuiteResult r = ex.submit(req, hooks).take();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(verifying.load(), 3u);
+  EXPECT_EQ(rows.load(), r.signals.size());
+}
+
+TEST(SharedShardStressTest, RandomizedInterleavedBatchesStayByteIdentical) {
+  // The concurrency soak: several rounds of a shuffled deck of (model ×
+  // shard-count) jobs, all in flight on one executor at once, so
+  // shared-mode estimation threads of different jobs interleave with
+  // worker threads and with each other. Fixed seed: reproducible runs.
+  struct Spec {
+    const char* model;
+    std::size_t shards;
+  };
+  std::vector<Spec> deck;
+  for (const char* m : kModels) {
+    for (const std::size_t shards : {1u, 2u, 4u, 9u}) {
+      deck.push_back(Spec{m, shards});
+    }
+  }
+  std::mt19937 rng(0x5eed5eed);
+  for (int round = 0; round < 3; ++round) {
+    std::shuffle(deck.begin(), deck.end(), rng);
+    Executor ex{ExecutorOptions{4, nullptr}};
+    std::vector<JobHandle> handles;
+    handles.reserve(deck.size());
+    for (const Spec& s : deck) {
+      handles.push_back(ex.submit(traced_request(s.model, s.shards)));
+    }
+    for (std::size_t i = 0; i < deck.size(); ++i) {
+      const SuiteResult r = handles[i].take();
+      EXPECT_TRUE(r.error.empty()) << deck[i].model << ": " << r.error;
+      EXPECT_EQ(canonical(r), serial_expectations().at(deck[i].model))
+          << "round " << round << " " << deck[i].model << " shards="
+          << deck[i].shards;
+      EXPECT_EQ(r.verify.passes, 1u);
+    }
+  }
+}
+
+TEST(SharedShardStressTest, ReplicatedModeAgreesButPaysVerificationPerShard) {
+  // The baseline the tentpole eliminates: byte-identical rows, but
+  // verify.passes records one verification per elaborated shard.
+  CoverageRequest req = traced_request("arbiter.cov", 2,
+                                       ShardMode::kReplicated);
+  Executor ex{ExecutorOptions{4, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(canonical(r), serial_expectations().at("arbiter.cov"));
+  EXPECT_EQ(r.verify.passes, 2u);  // Both shards re-verified.
+  EXPECT_EQ(r.elaborate.passes, 2u);
+}
+
+TEST(SharedShardStressTest, ReplicatedOnOneWorkerStaysSerialNotShared) {
+  // A replicated request whose task count clamps to 1 (any 1-worker
+  // executor) must run as one serial task — not fall through to the
+  // shared-manager fan-out it explicitly opted out of. Observable via
+  // the events' shard count: the shared path would report the
+  // effective estimator-thread count (2 here), the serial task 1.
+  CoverageRequest req = traced_request("arbiter.cov", 4,
+                                       ShardMode::kReplicated);
+  std::atomic<std::size_t> max_event_shards{0};
+  engine::JobHooks hooks;
+  hooks.on_event = [&](const engine::JobEvent& e) {
+    std::size_t seen = max_event_shards.load();
+    while (e.shards > seen &&
+           !max_event_shards.compare_exchange_weak(seen, e.shards)) {
+    }
+  };
+  Executor ex{ExecutorOptions{1, nullptr}};
+  const SuiteResult r = ex.submit(req, hooks).take();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(canonical(r), serial_expectations().at("arbiter.cov"));
+  EXPECT_EQ(max_event_shards.load(), 1u);
+  EXPECT_EQ(r.verify.passes, 1u);  // One replica task = one verification.
+}
+
+TEST(SharedShardStressTest, SessionRunFansOutWithoutAnExecutor) {
+  // The fan-out lives in Session::run, so library callers get it too.
+  CoverageRequest req = traced_request("traffic.cov", 4);
+  engine::Engine eng;
+  auto session = eng.open(req);
+  const SuiteResult sharded = session->run(req);
+  EXPECT_EQ(canonical(sharded), serial_expectations().at("traffic.cov"));
+  EXPECT_EQ(sharded.verify.passes, 1u);
+  // The manager is exclusive again: serial re-runs on the same session
+  // (memo warm) still match.
+  req.shards = 1;
+  const SuiteResult serial = session->run(req);
+  EXPECT_EQ(canonical(serial), serial_expectations().at("traffic.cov"));
+}
+
+TEST(SharedShardStressTest, CancellingASharededRunKeepsChunkPrefixes) {
+  // Cancellation mid-estimate: the partial row list is chunk prefixes
+  // in request order (interior gaps allowed), never corrupt state.
+  CoverageRequest req = traced_request("arbiter.cov", 2);
+  engine::JobHooks hooks;
+  hooks.on_progress = [](const engine::Progress& p) {
+    return p.phase != engine::Progress::Phase::kEstimate;
+  };
+  Executor ex{ExecutorOptions{2, nullptr}};
+  const SuiteResult r = ex.submit(req, hooks).take();
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.properties.size(), 5u);  // Verification completed (once).
+  EXPECT_EQ(r.verify.passes, 1u);
+  EXPECT_LE(r.signals.size(), 2u);
+  // Whatever rows exist must carry live, rebound covered handles.
+  for (const engine::SignalRow& row : r.signals) {
+    ASSERT_TRUE(row.covered.valid());
+    const bdd::Bdd round_trip = !!row.covered;
+    EXPECT_EQ(round_trip, row.covered);
+  }
+}
+
+// --------------------------------------------------------------------------
+// bdd.h shared mode, driven directly
+// --------------------------------------------------------------------------
+
+TEST(SharedModeBddTest, ConcurrentConstructionProducesCanonicalNodes) {
+  // K threads hammer one manager with overlapping function families;
+  // afterwards every function must equal its exclusive-mode twin edge
+  // for edge (canonicity is global, not per-thread).
+  constexpr unsigned kVars = 14;
+  constexpr std::size_t kThreads = 4;
+  bdd::BddManager mgr(kVars);
+  std::vector<bdd::Bdd> vars;
+  for (unsigned i = 0; i < kVars; ++i) vars.push_back(mgr.var(i));
+
+  auto family = [&vars](bdd::BddManager& m, std::size_t lane) {
+    // Deterministic per-lane formula mix sharing subterms across lanes.
+    bdd::Bdd parity = m.bdd_false();
+    bdd::Bdd conj = m.bdd_true();
+    bdd::Bdd mix = m.bdd_false();
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      parity ^= vars[i];
+      if (i % (lane + 2) == 0) conj &= vars[i];
+      mix = ite(vars[(i + lane) % vars.size()], mix, parity);
+    }
+    return (parity & conj) | mix;
+  };
+
+  std::vector<bdd::Bdd> shared_results(kThreads);
+  mgr.begin_shared(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        mgr.register_shard_thread();
+        shared_results[t] = family(mgr, t);
+        // Traversals must be safe concurrently too.
+        (void)mgr.support(shared_results[t]);
+        (void)mgr.node_count(shared_results[t]);
+        std::vector<bdd::Var> all;
+        for (unsigned i = 0; i < kVars; ++i) all.push_back(i);
+        (void)mgr.sat_count(shared_results[t], all);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  mgr.end_shared();
+
+  EXPECT_TRUE(mgr.check_canonical());
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    // Exclusive-mode recomputation lands on the identical edge: the
+    // unique table was never corrupted by the concurrent build.
+    EXPECT_EQ(shared_results[t], family(mgr, t)) << "lane " << t;
+  }
+  // The pool survives a GC and keeps every shared-mode root alive.
+  mgr.gc();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(shared_results[t], family(mgr, t)) << "post-gc lane " << t;
+  }
+}
+
+TEST(SharedModeBddTest, SatCountsAgreeAcrossThreads) {
+  constexpr unsigned kVars = 12;
+  bdd::BddManager mgr(kVars);
+  std::vector<bdd::Var> over;
+  for (unsigned i = 0; i < kVars; ++i) over.push_back(i);
+  bdd::Bdd f = mgr.bdd_false();
+  for (unsigned i = 0; i + 1 < kVars; i += 2) {
+    f |= mgr.var(i) & !mgr.var(i + 1);
+  }
+  const double expected = mgr.sat_count(f, over);
+
+  std::vector<double> counts(3, -1.0);
+  mgr.begin_shared(counts.size());
+  {
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < counts.size(); ++t) {
+      threads.emplace_back([&, t] {
+        mgr.register_shard_thread();
+        counts[t] = mgr.sat_count(f, over);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  mgr.end_shared();
+  for (const double c : counts) EXPECT_DOUBLE_EQ(c, expected);
+}
+
+TEST(SharedModeBddTest, UnregisteredThreadIsRejected) {
+  bdd::BddManager mgr(2);
+  const bdd::Bdd a = mgr.var(0);
+  const bdd::Bdd b = mgr.var(1);
+  mgr.begin_shared(2);
+  std::thread outsider([&] {
+    // The shared-mode affinity guard: structured failure, not pool
+    // corruption.
+    EXPECT_THROW((void)(a & b), std::logic_error);
+  });
+  outsider.join();
+  // A registered thread (the owner included) works.
+  mgr.register_shard_thread();
+  const bdd::Bdd conj = a & b;
+  mgr.end_shared();
+  EXPECT_FALSE(conj.is_false());
+  EXPECT_TRUE(mgr.check_canonical());
+}
+
+TEST(SharedModeBddTest, ArenaLeftoversAreRecycledAfterEndShared) {
+  bdd::BddManager mgr(8);
+  const std::size_t before = mgr.stats().allocated_nodes;
+  mgr.begin_shared(2);
+  std::thread t([&] {
+    mgr.register_shard_thread();
+    bdd::Bdd acc = mgr.bdd_true();
+    for (unsigned i = 0; i < 8; ++i) acc &= mgr.var(i);
+    (void)acc;
+  });
+  t.join();
+  mgr.end_shared();
+  mgr.gc();
+  // Unused arena slots went back to the free list: repeated shared
+  // epochs must not leak the pool upward.
+  for (int epoch = 0; epoch < 16; ++epoch) {
+    mgr.begin_shared(2);
+    std::thread tt([&] {
+      mgr.register_shard_thread();
+      bdd::Bdd acc = mgr.bdd_false();
+      for (unsigned i = 0; i < 8; ++i) acc |= mgr.var(i);
+      (void)acc;
+    });
+    tt.join();
+    mgr.end_shared();
+    mgr.gc();
+  }
+  mgr.live_node_count();
+  const std::size_t after = mgr.stats().allocated_nodes;
+  EXPECT_LE(after, before + 2 * 256 + 64);  // ≤ one arena block per thread.
+}
+
+}  // namespace
+}  // namespace covest
