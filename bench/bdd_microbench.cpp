@@ -1,6 +1,11 @@
 // google-benchmark microbenchmarks for the BDD substrate: the operations
-// that dominate both model checking and coverage estimation.
+// that dominate both model checking and coverage estimation — plus the
+// shared-mode table-mode comparison (striped locks vs the lock-free
+// unique table + wait-free cache) under same-variable make_node bursts.
 #include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
 
 #include "bdd/bdd.h"
 #include "circuits/circuits.h"
@@ -87,6 +92,55 @@ void BM_QueueReachability(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_QueueReachability)->Arg(2)->Arg(4)->Arg(6);
+
+// Shared-mode burst: K threads hammer one manager with formula families
+// dense in a tiny variable set, so nearly every make_node lands in the
+// same few subtables — exactly the pattern that serializes on striped
+// locks and that the CAS-chained table is built for. The two variants
+// differ only in TableMode, so their ratio is the synchronization cost.
+// (On a 1-core container both mostly measure scheduling; the comparison
+// is meaningful on real multi-core hardware.)
+void shared_burst_run(bdd::TableMode mode, std::size_t threads) {
+  constexpr unsigned kVars = 6;
+  BddManager mgr(kVars);
+  std::vector<Bdd> vars;
+  for (unsigned i = 0; i < kVars; ++i) vars.push_back(mgr.var(i));
+  mgr.begin_shared(threads, mode);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      mgr.register_shard_thread();
+      Bdd acc = t % 2 == 0 ? mgr.bdd_false() : mgr.bdd_true();
+      for (int r = 0; r < 24; ++r) {
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+          const Bdd& a = vars[(i + t) % vars.size()];
+          const Bdd& b = vars[(i + static_cast<std::size_t>(r)) %
+                              vars.size()];
+          acc = ite(a, acc ^ b, acc | (a & !b));
+        }
+      }
+      benchmark::DoNotOptimize(acc.index());
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  mgr.end_shared();
+}
+
+void BM_SharedMakeNodeBurstStriped(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    shared_burst_run(bdd::TableMode::kStriped, threads);
+  }
+}
+BENCHMARK(BM_SharedMakeNodeBurstStriped)->Arg(2)->Arg(4);
+
+void BM_SharedMakeNodeBurstLockFree(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    shared_burst_run(bdd::TableMode::kLockFree, threads);
+  }
+}
+BENCHMARK(BM_SharedMakeNodeBurstLockFree)->Arg(2)->Arg(4);
 
 void BM_SiftingReorder(benchmark::State& state) {
   const int pairs = static_cast<int>(state.range(0));

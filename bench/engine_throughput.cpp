@@ -73,7 +73,8 @@ struct Measurement {
 
 Measurement measure(const Config& config, std::size_t workers,
                     std::size_t shards, engine::ShardMode mode,
-                    std::string name) {
+                    std::string name,
+                    bdd::TableMode table_mode = bdd::TableMode::kLockFree) {
   std::vector<engine::CoverageRequest> requests;
   requests.reserve(config.models.size() * config.repeat);
   for (std::size_t r = 0; r < config.repeat; ++r) {
@@ -83,6 +84,7 @@ Measurement measure(const Config& config, std::size_t workers,
       req.uncovered_limit = 0;  // Keep the measurement estimation-pure.
       req.shards = shards;
       req.shard_mode = mode;
+      req.table_mode = table_mode;
       requests.push_back(std::move(req));
     }
   }
@@ -177,8 +179,11 @@ int main(int argc, char** argv) {
   }
 
   // Intra-suite sharding: shared_manager (verify once per suite) vs
-  // replicated (every shard re-verifies). verify_passes makes the saved
-  // work visible even where single-core wall-clock cannot show it.
+  // replicated (every shard re-verifies) — and, within shared_manager,
+  // the table-mode comparison: the lock-free unique table/wait-free
+  // cache against the striped-lock baseline. verify_passes makes the
+  // saved work visible even where single-core wall-clock cannot show
+  // it; the table-mode ratio needs real cores to mean anything.
   const std::size_t shard_workers =
       *std::max_element(config.jobs.begin(), config.jobs.end());
   const std::string suffix = "/shards:" + std::to_string(config.shards) +
@@ -186,12 +191,18 @@ int main(int argc, char** argv) {
   Measurement shared =
       measure(config, shard_workers, config.shards,
               engine::ShardMode::kSharedManager,
-              "sharded_suite/mode:shared_manager" + suffix);
+              "sharded_suite/mode:shared_manager/table:lockfree" + suffix,
+              bdd::TableMode::kLockFree);
+  Measurement shared_striped =
+      measure(config, shard_workers, config.shards,
+              engine::ShardMode::kSharedManager,
+              "sharded_suite/mode:shared_manager/table:striped" + suffix,
+              bdd::TableMode::kStriped);
   Measurement replicated =
       measure(config, shard_workers, config.shards,
               engine::ShardMode::kReplicated,
               "sharded_suite/mode:replicated" + suffix);
-  for (const Measurement* m : {&shared, &replicated}) {
+  for (const Measurement* m : {&shared, &shared_striped, &replicated}) {
     std::printf("%s: %.1f suites/sec, %zu verify passes\n", m->name.c_str(),
                 m->suites_per_sec, m->verify_passes);
     measurements.push_back(*m);
@@ -204,6 +215,12 @@ int main(int argc, char** argv) {
               "(verify passes %zu vs %zu)\n",
               config.shards, shard_speedup, shared.verify_passes,
               replicated.verify_passes);
+  const double table_speedup =
+      shared_striped.suites_per_sec > 0.0
+          ? shared.suites_per_sec / shared_striped.suites_per_sec
+          : 0.0;
+  std::printf("lockfree vs striped at shards=%zu: %.2fx\n", config.shards,
+              table_speedup);
 
   if (!config.out_path.empty()) {
     std::FILE* out = std::fopen(config.out_path.c_str(), "w");
@@ -239,8 +256,10 @@ int main(int argc, char** argv) {
                    "replicated once per shard.\",\n");
     }
     std::fprintf(out, "  \"speedup_max_jobs_vs_1\": %.3f,\n", speedup);
-    std::fprintf(out, "  \"shared_vs_replicated_speedup\": %.3f\n}\n",
+    std::fprintf(out, "  \"shared_vs_replicated_speedup\": %.3f,\n",
                  shard_speedup);
+    std::fprintf(out, "  \"lockfree_vs_striped_speedup\": %.3f\n}\n",
+                 table_speedup);
     std::fclose(out);
     std::printf("wrote %s\n", config.out_path.c_str());
   }

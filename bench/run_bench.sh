@@ -2,13 +2,17 @@
 # Runs the benchmark suites and writes the per-layer perf trajectories:
 #   BENCH_bdd.json    — BDD microbenchmarks (google-benchmark JSON:
 #                       cpu_time in ns per op, plus peak_live_nodes /
-#                       cache_hit_rate counters)
+#                       cache_hit_rate counters), including the
+#                       shared-mode table-mode burst comparison
+#                       (BM_SharedMakeNodeBurstStriped vs
+#                       BM_SharedMakeNodeBurstLockFree)
 #   BENCH_engine.json — engine-layer suite throughput (suites/sec over
 #                       the example-model manifest at --jobs 1, 2, 4,
 #                       via bench/engine_throughput and the executor),
 #                       plus the intra-suite sharding comparison:
 #                       shard_mode shared_manager (verify once, rows on
-#                       K threads over one shared BddManager) vs
+#                       K threads over one shared BddManager; measured
+#                       under both table_mode=lockfree and striped) vs
 #                       replicated (every shard re-verifies). On boxes
 #                       with few hardware threads the wall-clock columns
 #                       mostly measure scheduling overhead — the file
@@ -17,9 +21,50 @@
 #                       of core count.
 #
 # Usage: bench/run_bench.sh [build_dir] [output_json]
+#        bench/run_bench.sh --check-stale [build_dir] [bench_json]
+#
+# --check-stale compares the committed BENCH_bdd.json against the
+# benchmark families compiled into the current bdd_microbench binary and
+# fails when the file predates the schema — CI runs it so a PR that adds
+# or renames a microbenchmark cannot land a stale trajectory file.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "--check-stale" ]]; then
+  BUILD_DIR="${2:-${REPO_ROOT}/build}"
+  BENCH_JSON="${3:-${REPO_ROOT}/BENCH_bdd.json}"
+  if [[ ! -x "${BUILD_DIR}/bdd_microbench" ]]; then
+    echo "--check-stale: ${BUILD_DIR}/bdd_microbench not built" >&2
+    exit 1
+  fi
+  LIST_FILE="$(mktemp)"
+  "${BUILD_DIR}/bdd_microbench" --benchmark_list_tests > "${LIST_FILE}"
+  STATUS=0
+  # `|| STATUS=$?` keeps set -e from aborting before the cleanup below.
+  python3 - "${BENCH_JSON}" "${LIST_FILE}" <<'EOF' || STATUS=$?
+import json, sys
+# Benchmark *families* (the name before the first '/') present in the
+# binary must all appear in the committed trajectory file.
+with open(sys.argv[2]) as f:
+    binary = {line.split("/")[0].strip() for line in f if line.strip()}
+if not binary:
+    print("--check-stale: benchmark list came back empty", file=sys.stderr)
+    sys.exit(1)
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+recorded = {b["name"].split("/")[0] for b in data.get("benchmarks", [])}
+missing = sorted(binary - recorded)
+if missing:
+    print(f"{sys.argv[1]} is stale: missing benchmark families "
+          f"{missing}; regenerate with bench/run_bench.sh", file=sys.stderr)
+    sys.exit(1)
+print(f"{sys.argv[1]} covers all {len(binary)} benchmark families")
+EOF
+  rm -f "${LIST_FILE}"
+  exit "${STATUS}"
+fi
+
 BUILD_DIR="${1:-${REPO_ROOT}/build}"
 OUT_JSON="${2:-${REPO_ROOT}/BENCH_bdd.json}"
 ENGINE_OUT_JSON="${ENGINE_OUT_JSON:-${REPO_ROOT}/BENCH_engine.json}"

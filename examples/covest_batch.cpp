@@ -25,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,10 @@ void usage(std::FILE* to) {
       "  --jobs N     worker threads (default 1; 0 = hardware threads)\n"
       "  --shards K   verify each suite once, estimate its signal rows\n"
       "               on up to K threads over one shared manager\n"
+      "  --table-mode lockfree|striped\n"
+      "               shared-manager synchronization: the lock-free\n"
+      "               unique table + wait-free cache (default) or the\n"
+      "               striped-lock baseline; results are byte-identical\n"
       "  --trace      compute hole traces for path-derived requests\n"
       "  --stats      include timing/BDD statistics in the output\n"
       "  --pretty     pretty-print results (not NDJSON)\n");
@@ -61,6 +66,7 @@ using covest::util::parse_count;
 struct BatchOptions {
   std::size_t jobs = 1;
   std::size_t shards = 0;  ///< 0 = leave each request's own value.
+  std::optional<bdd::TableMode> table_mode;  ///< Unset = per-request value.
   bool want_traces = false;
   bool stats = false;
   bool pretty = false;
@@ -125,6 +131,9 @@ BatchJob parse_line(const std::string& raw, const BatchOptions& options,
   if (job.input_error.empty() && options.shards > 0) {
     job.request.shards = options.shards;
   }
+  if (job.input_error.empty() && options.table_mode) {
+    job.request.table_mode = *options.table_mode;
+  }
   return job;
 }
 
@@ -144,6 +153,18 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc || !parse_count(argv[++i], &options.shards) ||
           options.shards == 0) {
         std::fprintf(stderr, "error: --shards needs a positive integer\n\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--table-mode") == 0) {
+      const char* mode = i + 1 < argc ? argv[++i] : "";
+      if (std::strcmp(mode, "lockfree") == 0) {
+        options.table_mode = bdd::TableMode::kLockFree;
+      } else if (std::strcmp(mode, "striped") == 0) {
+        options.table_mode = bdd::TableMode::kStriped;
+      } else {
+        std::fprintf(stderr,
+                     "error: --table-mode needs 'lockfree' or 'striped'\n\n");
         usage(stderr);
         return 2;
       }

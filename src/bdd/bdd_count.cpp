@@ -4,8 +4,10 @@
 // counts over the state variables: |covered| / |reachable|.
 //
 // All traversals here follow the generation-stamp protocol (see bdd.h):
-// visited state and memos live in the nodes themselves or in flat
-// manager-owned side arrays, so none of these paths allocates per call.
+// visited state and memos live in flat per-thread context arrays, so
+// none of these paths allocates per call once warmed up — and in shared
+// mode every registered thread traverses in its own context, with no
+// cross-thread coordination regardless of the epoch's TableMode.
 #include <algorithm>
 #include <cassert>
 #include <cmath>

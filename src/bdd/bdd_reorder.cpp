@@ -20,7 +20,10 @@
 namespace covest::bdd {
 
 void BddManager::swap_adjacent_levels(unsigned lvl) {
-  assert(!shared_mode_ && "swap_adjacent_levels during shared mode");
+  // Reordering rewrites node fields in place — the one thing no shared
+  // epoch (striped or lock-free) can tolerate. Hard error, not just a
+  // debug assert: a release-build scheduler bug must fail loudly too.
+  require_exclusive("swap_adjacent_levels");
   assert(lvl + 1 < level_to_var_.size());
   const Var x = level_to_var_[lvl];      // Upper variable, moving down.
   const Var y = level_to_var_[lvl + 1];  // Lower variable, moving up.
@@ -90,7 +93,7 @@ std::size_t BddManager::sift_var_to(Var v, unsigned target_level) {
 }
 
 std::size_t BddManager::reorder_sift(std::size_t max_vars) {
-  assert(!shared_mode_ && "reorder_sift during shared mode");
+  require_exclusive("reorder_sift");
   assert(!main_ctx_.in_operation);
   gc();
   ++stats_.reorderings;
@@ -146,6 +149,7 @@ std::size_t BddManager::reorder_sift(std::size_t max_vars) {
 }
 
 void BddManager::set_order(const std::vector<Var>& order) {
+  require_exclusive("set_order");
   assert(order.size() == level_to_var_.size());
   for (unsigned target = 0; target < order.size(); ++target) {
     sift_var_to(order[target], target);

@@ -264,7 +264,7 @@ SuiteResult Session::run(const CoverageRequest& request,
     std::vector<std::exception_ptr> failures(fan_out);
     std::atomic<bool> stop{false};
     std::atomic<bool> cancelled{false};
-    mgr.begin_shared(fan_out);
+    mgr.begin_shared(fan_out, request.table_mode);
     {
       std::vector<std::thread> estimators;
       estimators.reserve(fan_out);

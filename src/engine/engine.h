@@ -155,6 +155,12 @@ struct CoverageRequest {
   /// request order and are bit-identical to the serial path.
   std::size_t shards = 1;
   ShardMode shard_mode = ShardMode::kSharedManager;
+  /// How the shared manager of a `kSharedManager` fan-out synchronizes
+  /// its unique tables and computed cache: the lock-free CAS table
+  /// (default) or the striped-lock baseline (kept for benchmarking;
+  /// results are byte-identical either way). Ignored when the run
+  /// never enters shared mode (serial or replicated).
+  bdd::TableMode table_mode = bdd::TableMode::kLockFree;
 };
 
 /// The effective property suite of a request on its model: the request's

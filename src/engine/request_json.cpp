@@ -143,6 +143,9 @@ std::string to_json(const CoverageRequest& request,
                  request.shard_mode == ShardMode::kReplicated
                      ? "replicated"
                      : "shared_manager");
+  w.field_string("table_mode",
+                 request.table_mode == bdd::TableMode::kStriped ? "striped"
+                                                                : "lockfree");
   return w.finish();
 }
 
@@ -306,6 +309,15 @@ CoverageRequest request_from_json(const std::string& text) {
         request.shard_mode = ShardMode::kReplicated;
       } else {
         schema_fail("'shard_mode' must be 'shared_manager' or 'replicated'");
+      }
+    } else if (key == "table_mode") {
+      const std::string& mode = as_string(value, "table_mode");
+      if (mode == "lockfree") {
+        request.table_mode = bdd::TableMode::kLockFree;
+      } else if (mode == "striped") {
+        request.table_mode = bdd::TableMode::kStriped;
+      } else {
+        schema_fail("'table_mode' must be 'lockfree' or 'striped'");
       }
     } else {
       schema_fail("unknown key '" + key + "'");

@@ -18,8 +18,10 @@
 //     "skip_failing": false,
 //     "uncovered_limit": 4,
 //     "want_traces": false,
-//     "shards": 1
-//   }
+//     "shards": 1,
+//     "shard_mode": "shared_manager",   // or "replicated"
+//     "table_mode": "lockfree"          // or "striped" (shared-manager
+//   }                                   //     synchronization choice)
 //
 // The writer emits the canonical form: fixed field order, every policy
 // field present, empty model sources omitted. Parsing a canonical

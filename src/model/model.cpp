@@ -151,6 +151,17 @@ void Model::validate() const {
       throw std::runtime_error("DONTCARE must be boolean: " + to_string(e));
     }
   }
+  // OBSERVE targets resolve at parse/validate time, not at suite
+  // execution: a typo'd signal in a model file is a graceful error line
+  // with the model's context, never a mid-run surprise.
+  for (const SpecEntry& spec : specs_) {
+    for (const std::string& observed : spec.observed) {
+      if (!has_signal(observed)) {
+        throw std::runtime_error("SPEC observes unknown signal '" + observed +
+                                 "'");
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

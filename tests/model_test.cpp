@@ -2,6 +2,11 @@
 // .cov model-file parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
 #include "expr/expr_parser.h"
 #include "model/model.h"
 #include "model/model_parser.h"
@@ -185,6 +190,72 @@ TEST(ModelParserTest, ErrorsIncludeLineNumbers) {
 TEST(ModelParserTest, ParseFileReportsMissingFile) {
   EXPECT_THROW(parse_model_file("/nonexistent/model.cov"),
                std::runtime_error);
+}
+
+TEST(ModelParserTest, RejectsUnknownObserveTarget) {
+  // OBSERVE targets resolve at validate time: a typo is a parse-stage
+  // error line, not a mid-suite surprise.
+  EXPECT_THROW(
+      parse_model("VAR x : bool; NEXT x := !x; SPEC AG (x) OBSERVE ghost;"),
+      std::runtime_error);
+  try {
+    parse_model("VAR x : bool; NEXT x := !x; SPEC AG (x) OBSERVE ghost;");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Malformed-model corpus (tests/golden/fuzz/bad_model, good_model): one
+// `.cov` file per case, mirroring the PR-4 JSON corpora. Every bad file
+// must be refused with a graceful one-line error (never a crash or an
+// accept); every good file must parse — so the set also documents the
+// dialect's edge syntax.
+// --------------------------------------------------------------------------
+
+std::vector<std::filesystem::path> model_corpus(const char* subdir) {
+  const std::filesystem::path dir =
+      std::filesystem::path(COVEST_SOURCE_DIR) / "tests" / "golden" / "fuzz" /
+      subdir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".cov") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(ModelFuzzCorpusTest, BadModelsAreRejectedGracefully) {
+  const auto files = model_corpus("bad_model");
+  ASSERT_GE(files.size(), 15u);  // The corpus is present, not an empty dir.
+  for (const auto& path : files) {
+    try {
+      (void)parse_model_file(path.string());
+      ADD_FAILURE() << "parse_model accepted " << path.filename();
+    } catch (const std::runtime_error& e) {
+      // Graceful error line: non-empty, and prefixed with the file path
+      // (the batch layers print exactly this line per failing job).
+      const std::string what = e.what();
+      EXPECT_FALSE(what.empty()) << path.filename();
+      EXPECT_NE(what.find(path.filename().string()), std::string::npos)
+          << path.filename() << ": " << what;
+    }
+  }
+}
+
+TEST(ModelFuzzCorpusTest, GoodModelsParseAndValidate) {
+  const auto files = model_corpus("good_model");
+  ASSERT_GE(files.size(), 3u);
+  for (const auto& path : files) {
+    const Model m = parse_model_file(path.string());
+    // Parsed AND validated: specs' OBSERVE targets all resolve.
+    for (const SpecEntry& spec : m.specs()) {
+      for (const std::string& observed : spec.observed) {
+        EXPECT_TRUE(m.has_signal(observed))
+            << path.filename() << " observes " << observed;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -40,6 +40,7 @@ CoverageRequest sample_request() {
   req.uncovered_limit = 7;
   req.want_traces = true;
   req.shards = 3;
+  req.table_mode = bdd::TableMode::kStriped;  // Non-default round-trips.
   return req;
 }
 
@@ -59,6 +60,8 @@ void expect_same_request(const CoverageRequest& a, const CoverageRequest& b) {
   EXPECT_EQ(a.uncovered_limit, b.uncovered_limit);
   EXPECT_EQ(a.want_traces, b.want_traces);
   EXPECT_EQ(a.shards, b.shards);
+  EXPECT_EQ(a.shard_mode, b.shard_mode);
+  EXPECT_EQ(a.table_mode, b.table_mode);
 }
 
 TEST(RequestJsonTest, FieldsSurviveTheRoundTrip) {
@@ -115,6 +118,8 @@ TEST(RequestJsonTest, MinimalInputGetsDefaults) {
   EXPECT_EQ(req.uncovered_limit, 4u);
   EXPECT_FALSE(req.want_traces);
   EXPECT_EQ(req.shards, 1u);
+  EXPECT_EQ(req.shard_mode, engine::ShardMode::kSharedManager);
+  EXPECT_EQ(req.table_mode, bdd::TableMode::kLockFree);
 }
 
 TEST(RequestJsonTest, InMemoryModelRefusesToSerialize) {
@@ -228,6 +233,13 @@ TEST(FuzzCorpusTest, ShardModeRoundTripsThroughTheCorpusForms) {
       read_file(corpus_files("good_request")[0].parent_path() /
                 "shard_mode_shared.json"));
   EXPECT_EQ(shared.shard_mode, engine::ShardMode::kSharedManager);
+  // Unstated table_mode defaults to the lock-free table; the explicit
+  // corpus form selects the striped baseline.
+  EXPECT_EQ(shared.table_mode, bdd::TableMode::kLockFree);
+  const CoverageRequest striped = engine::request_from_json(
+      read_file(corpus_files("good_request")[0].parent_path() /
+                "table_mode_striped.json"));
+  EXPECT_EQ(striped.table_mode, bdd::TableMode::kStriped);
 }
 
 TEST(RequestJsonTest, HostileNestingDepthIsRejectedNotACrash) {

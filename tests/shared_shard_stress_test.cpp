@@ -1,13 +1,15 @@
 // Concurrency battery for the shared sharded BddManager: repeated
 // randomized-order runs of every example model at shards = 1/2/4/K >
-// signals, asserting byte-identical `SuiteResult` JSON against the
-// serial engine and — the tentpole invariant — that the verification
-// phase ran exactly once per suite (`PhaseStats::passes`). Also
-// exercises the bdd.h shared mode directly (concurrent node
-// construction stays canonical; unregistered threads are rejected) and
-// the replicated baseline for contrast (its verify.passes counts every
-// shard). Built for the sanitizer CI matrix: every assertion here runs
-// under TSan and ASan+UBSan.
+// signals — under BOTH shared-mode table modes (the lock-free
+// unique-table/wait-free-cache default and the striped-lock baseline)
+// — asserting byte-identical `SuiteResult` JSON against the serial
+// engine and — the tentpole invariant — that the verification phase ran
+// exactly once per suite (`PhaseStats::passes`). Also exercises the
+// bdd.h shared mode directly (concurrent node construction stays
+// canonical; unregistered threads are rejected) and the replicated
+// baseline for contrast (its verify.passes counts every shard). Built
+// for the sanitizer CI matrix: every assertion here runs under TSan and
+// ASan+UBSan.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -50,13 +52,23 @@ std::string canonical(const SuiteResult& r) {
   return engine::to_json(r, opts);
 }
 
-CoverageRequest traced_request(const char* name, std::size_t shards,
-                               ShardMode mode = ShardMode::kSharedManager) {
+const bdd::TableMode kTableModes[] = {bdd::TableMode::kLockFree,
+                                      bdd::TableMode::kStriped};
+
+const char* table_mode_name(bdd::TableMode mode) {
+  return mode == bdd::TableMode::kLockFree ? "lockfree" : "striped";
+}
+
+CoverageRequest traced_request(
+    const char* name, std::size_t shards,
+    ShardMode mode = ShardMode::kSharedManager,
+    bdd::TableMode table_mode = bdd::TableMode::kLockFree) {
   CoverageRequest req;
   req.model_path = model_path(name);
   req.want_traces = true;  // Trace generation must also be shard-safe.
   req.shards = shards;
   req.shard_mode = mode;
+  req.table_mode = table_mode;
   return req;
 }
 
@@ -81,16 +93,25 @@ TEST(SharedShardStressTest, EveryModelEveryShardCountMatchesSerial) {
     // 9 > every example model's signal count: the K > signals case must
     // clamp to the row count, not spawn idle threads or change results.
     for (const std::size_t shards : {1u, 2u, 4u, 9u}) {
-      Executor ex{ExecutorOptions{4, nullptr}};
-      const SuiteResult r = ex.submit(traced_request(m, shards)).take();
-      EXPECT_TRUE(r.error.empty()) << m << ": " << r.error;
-      EXPECT_EQ(canonical(r), serial_expectations().at(m))
-          << m << " shards=" << shards;
-      // The point of the shared-manager sharding: one parse, one
-      // elaboration, one verification — regardless of the shard count.
-      EXPECT_EQ(r.elaborate.passes, 1u) << m << " shards=" << shards;
-      EXPECT_EQ(r.verify.passes, 1u) << m << " shards=" << shards;
-      EXPECT_EQ(r.estimate.passes, 1u) << m << " shards=" << shards;
+      // Both shared-mode synchronization schemes are held to the same
+      // byte contract: lockfree and striped must match serial — and
+      // therefore each other — exactly.
+      for (const bdd::TableMode table_mode : kTableModes) {
+        Executor ex{ExecutorOptions{4, nullptr}};
+        const SuiteResult r =
+            ex.submit(traced_request(m, shards, ShardMode::kSharedManager,
+                                     table_mode))
+                .take();
+        EXPECT_TRUE(r.error.empty()) << m << ": " << r.error;
+        EXPECT_EQ(canonical(r), serial_expectations().at(m))
+            << m << " shards=" << shards
+            << " table_mode=" << table_mode_name(table_mode);
+        // The point of the shared-manager sharding: one parse, one
+        // elaboration, one verification — regardless of the shard count.
+        EXPECT_EQ(r.elaborate.passes, 1u) << m << " shards=" << shards;
+        EXPECT_EQ(r.verify.passes, 1u) << m << " shards=" << shards;
+        EXPECT_EQ(r.estimate.passes, 1u) << m << " shards=" << shards;
+      }
     }
   }
 }
@@ -122,11 +143,16 @@ TEST(SharedShardStressTest, RandomizedInterleavedBatchesStayByteIdentical) {
   struct Spec {
     const char* model;
     std::size_t shards;
+    bdd::TableMode table_mode;
   };
   std::vector<Spec> deck;
   for (const char* m : kModels) {
     for (const std::size_t shards : {1u, 2u, 4u, 9u}) {
-      deck.push_back(Spec{m, shards});
+      // The full deck runs under both table modes, so lockfree and
+      // striped jobs interleave on the same executor in every round.
+      for (const bdd::TableMode table_mode : kTableModes) {
+        deck.push_back(Spec{m, shards, table_mode});
+      }
     }
   }
   std::mt19937 rng(0x5eed5eed);
@@ -136,14 +162,16 @@ TEST(SharedShardStressTest, RandomizedInterleavedBatchesStayByteIdentical) {
     std::vector<JobHandle> handles;
     handles.reserve(deck.size());
     for (const Spec& s : deck) {
-      handles.push_back(ex.submit(traced_request(s.model, s.shards)));
+      handles.push_back(ex.submit(traced_request(
+          s.model, s.shards, ShardMode::kSharedManager, s.table_mode)));
     }
     for (std::size_t i = 0; i < deck.size(); ++i) {
       const SuiteResult r = handles[i].take();
       EXPECT_TRUE(r.error.empty()) << deck[i].model << ": " << r.error;
       EXPECT_EQ(canonical(r), serial_expectations().at(deck[i].model))
           << "round " << round << " " << deck[i].model << " shards="
-          << deck[i].shards;
+          << deck[i].shards << " table_mode="
+          << table_mode_name(deck[i].table_mode);
       EXPECT_EQ(r.verify.passes, 1u);
     }
   }
@@ -187,18 +215,26 @@ TEST(SharedShardStressTest, ReplicatedOnOneWorkerStaysSerialNotShared) {
 }
 
 TEST(SharedShardStressTest, SessionRunFansOutWithoutAnExecutor) {
-  // The fan-out lives in Session::run, so library callers get it too.
+  // The fan-out lives in Session::run, so library callers get it too —
+  // and one session must survive alternating epochs of both table
+  // modes with warm memo caches in between.
   CoverageRequest req = traced_request("traffic.cov", 4);
   engine::Engine eng;
   auto session = eng.open(req);
-  const SuiteResult sharded = session->run(req);
-  EXPECT_EQ(canonical(sharded), serial_expectations().at("traffic.cov"));
-  EXPECT_EQ(sharded.verify.passes, 1u);
-  // The manager is exclusive again: serial re-runs on the same session
-  // (memo warm) still match.
-  req.shards = 1;
-  const SuiteResult serial = session->run(req);
-  EXPECT_EQ(canonical(serial), serial_expectations().at("traffic.cov"));
+  for (const bdd::TableMode table_mode : kTableModes) {
+    req.shards = 4;
+    req.table_mode = table_mode;
+    const SuiteResult sharded = session->run(req);
+    EXPECT_EQ(canonical(sharded), serial_expectations().at("traffic.cov"))
+        << table_mode_name(table_mode);
+    EXPECT_EQ(sharded.verify.passes, 1u);
+    // The manager is exclusive again: serial re-runs on the same
+    // session (memo warm) still match.
+    req.shards = 1;
+    const SuiteResult serial = session->run(req);
+    EXPECT_EQ(canonical(serial), serial_expectations().at("traffic.cov"))
+        << table_mode_name(table_mode);
+  }
 }
 
 TEST(SharedShardStressTest, CancellingASharededRunKeepsChunkPrefixes) {
