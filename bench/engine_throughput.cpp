@@ -9,6 +9,13 @@
 //
 //   engine_throughput [--repeat N] [--jobs 1,2,4] [--shards K]
 //                     [--out FILE] model.cov...
+//   engine_throughput --list [--jobs 1,2,4] [--shards K]
+//
+// `--list` prints the benchmark names the given configuration would
+// measure, one per line, without touching any model — the staleness
+// gate in run_bench.sh compares them against the committed
+// BENCH_engine.json the same way bdd_microbench's
+// --benchmark_list_tests backs the BENCH_bdd.json gate.
 //
 // Each configuration runs `N` copies of every model's default suite
 // through one executor and measures wall time; the suites are
@@ -41,9 +48,28 @@ struct Config {
   std::size_t repeat = 8;
   std::vector<std::size_t> jobs = {1, 2, 4};
   std::size_t shards = 4;  ///< Shard count of the sharding comparison.
+  bool list = false;       ///< Print benchmark names and exit.
   std::string out_path;
   std::vector<std::string> models;
 };
+
+/// The deterministic benchmark names a configuration produces, in
+/// measurement order; `main` consumes them positionally, and the
+/// run_bench.sh staleness gate holds BENCH_engine.json to them.
+std::vector<std::string> benchmark_names(const Config& config) {
+  std::vector<std::string> names;
+  for (const std::size_t workers : config.jobs) {
+    names.push_back("suite_throughput/jobs:" + std::to_string(workers));
+  }
+  const std::size_t shard_workers =
+      *std::max_element(config.jobs.begin(), config.jobs.end());
+  const std::string suffix = "/shards:" + std::to_string(config.shards) +
+                             "/jobs:" + std::to_string(shard_workers);
+  names.push_back("sharded_suite/mode:shared_manager/table:lockfree" + suffix);
+  names.push_back("sharded_suite/mode:shared_manager/table:striped" + suffix);
+  names.push_back("sharded_suite/mode:replicated" + suffix);
+  return names;
+}
 
 bool parse_jobs_list(const char* text, std::vector<std::size_t>* out) {
   out->clear();
@@ -138,6 +164,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --shards needs a positive integer\n");
         return 2;
       }
+    } else if (std::strcmp(arg, "--list") == 0) {
+      config.list = true;
     } else if (std::strcmp(arg, "--out") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --out needs a path\n");
@@ -151,18 +179,26 @@ int main(int argc, char** argv) {
       config.models.push_back(arg);
     }
   }
+  if (config.list) {
+    for (const std::string& name : benchmark_names(config)) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
   if (config.models.empty()) {
     std::fprintf(stderr,
                  "usage: engine_throughput [--repeat N] [--jobs 1,2,4] "
-                 "[--shards K] [--out FILE] model.cov...\n");
+                 "[--shards K] [--out FILE] model.cov... | --list\n");
     return 2;
   }
 
   std::vector<Measurement> measurements;
+  const std::vector<std::string> names = benchmark_names(config);
+  std::size_t name_index = 0;
   for (const std::size_t workers : config.jobs) {
     const Measurement m =
         measure(config, workers, 1, engine::ShardMode::kSharedManager,
-                "suite_throughput/jobs:" + std::to_string(workers));
+                names[name_index++]);
     std::printf("jobs=%zu: %zu suites in %.1f ms  (%.1f suites/sec)\n",
                 m.jobs, m.suites, m.wall_ms, m.suites_per_sec);
     measurements.push_back(m);
@@ -186,22 +222,16 @@ int main(int argc, char** argv) {
   // it; the table-mode ratio needs real cores to mean anything.
   const std::size_t shard_workers =
       *std::max_element(config.jobs.begin(), config.jobs.end());
-  const std::string suffix = "/shards:" + std::to_string(config.shards) +
-                             "/jobs:" + std::to_string(shard_workers);
-  Measurement shared =
-      measure(config, shard_workers, config.shards,
-              engine::ShardMode::kSharedManager,
-              "sharded_suite/mode:shared_manager/table:lockfree" + suffix,
-              bdd::TableMode::kLockFree);
+  Measurement shared = measure(config, shard_workers, config.shards,
+                               engine::ShardMode::kSharedManager,
+                               names[name_index++], bdd::TableMode::kLockFree);
   Measurement shared_striped =
       measure(config, shard_workers, config.shards,
-              engine::ShardMode::kSharedManager,
-              "sharded_suite/mode:shared_manager/table:striped" + suffix,
+              engine::ShardMode::kSharedManager, names[name_index++],
               bdd::TableMode::kStriped);
   Measurement replicated =
       measure(config, shard_workers, config.shards,
-              engine::ShardMode::kReplicated,
-              "sharded_suite/mode:replicated" + suffix);
+              engine::ShardMode::kReplicated, names[name_index++]);
   for (const Measurement* m : {&shared, &shared_striped, &replicated}) {
     std::printf("%s: %.1f suites/sec, %zu verify passes\n", m->name.c_str(),
                 m->suites_per_sec, m->verify_passes);

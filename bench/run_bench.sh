@@ -23,10 +23,12 @@
 # Usage: bench/run_bench.sh [build_dir] [output_json]
 #        bench/run_bench.sh --check-stale [build_dir] [bench_json]
 #
-# --check-stale compares the committed BENCH_bdd.json against the
-# benchmark families compiled into the current bdd_microbench binary and
-# fails when the file predates the schema — CI runs it so a PR that adds
-# or renames a microbenchmark cannot land a stale trajectory file.
+# --check-stale compares the committed trajectory files against the
+# current binaries and fails when either predates the schema — CI runs
+# it so a PR cannot land a stale file: BENCH_bdd.json must cover every
+# benchmark family compiled into bdd_microbench, and BENCH_engine.json
+# must carry every name `engine_throughput --list` prints for the
+# configuration this script drives (--jobs 1,2,4 --shards 4).
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -62,6 +64,37 @@ if missing:
 print(f"{sys.argv[1]} covers all {len(binary)} benchmark families")
 EOF
   rm -f "${LIST_FILE}"
+
+  ENGINE_JSON="${REPO_ROOT}/BENCH_engine.json"
+  if [[ ! -x "${BUILD_DIR}/engine_throughput" ]]; then
+    echo "--check-stale: ${BUILD_DIR}/engine_throughput not built" >&2
+    exit 1
+  fi
+  ENGINE_LIST_FILE="$(mktemp)"
+  # Exactly the configuration the measuring run below uses.
+  "${BUILD_DIR}/engine_throughput" --list --jobs 1,2,4 --shards 4 \
+    > "${ENGINE_LIST_FILE}"
+  python3 - "${ENGINE_JSON}" "${ENGINE_LIST_FILE}" <<'EOF' || STATUS=$?
+import json, sys
+# Engine benchmark names are fully parameterized (no family prefix
+# collapsing): every listed name must appear verbatim.
+with open(sys.argv[2]) as f:
+    binary = {line.strip() for line in f if line.strip()}
+if not binary:
+    print("--check-stale: engine benchmark list came back empty",
+          file=sys.stderr)
+    sys.exit(1)
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+recorded = {b["name"] for b in data.get("benchmarks", [])}
+missing = sorted(binary - recorded)
+if missing:
+    print(f"{sys.argv[1]} is stale: missing benchmarks {missing}; "
+          f"regenerate with bench/run_bench.sh", file=sys.stderr)
+    sys.exit(1)
+print(f"{sys.argv[1]} covers all {len(binary)} engine benchmarks")
+EOF
+  rm -f "${ENGINE_LIST_FILE}"
   exit "${STATUS}"
 fi
 

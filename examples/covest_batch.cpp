@@ -18,8 +18,12 @@
 // Per-job defects (missing model, parse errors, unknown signals) never
 // abort the batch: the failing job's output line carries
 // `summary.error` and the driver exits nonzero once the batch is done.
+// Resource-limited jobs (deadline, node budget, admission) likewise
+// stay in the stream as partial results with `summary.status`.
 // Exit codes: 0 = every job ran and every SPEC held, 1 = some job
-// errored or some property failed, 2 = usage or manifest I/O error.
+// errored or some property failed, 2 = usage or manifest I/O error,
+// 3 = some job was stopped by a resource limit (deadline exceeded,
+// node budget exhausted, or admission rejected); 3 wins over 1.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -56,6 +60,15 @@ void usage(std::FILE* to) {
       "               shared-manager synchronization: the lock-free\n"
       "               unique table + wait-free cache (default) or the\n"
       "               striped-lock baseline; results are byte-identical\n"
+      "  --deadline-ms N\n"
+      "               per-job wall-clock budget; an expired job emits a\n"
+      "               partial result with status deadline_exceeded\n"
+      "  --max-nodes N\n"
+      "               per-job BDD node budget; exhaustion emits status\n"
+      "               resource_exhausted\n"
+      "  --max-queue N\n"
+      "               bound the executor queue; submission blocks for\n"
+      "               room (backpressure) instead of growing unbounded\n"
       "  --trace      compute hole traces for path-derived requests\n"
       "  --stats      include timing/BDD statistics in the output\n"
       "  --pretty     pretty-print results (not NDJSON)\n");
@@ -66,6 +79,9 @@ using covest::util::parse_count;
 struct BatchOptions {
   std::size_t jobs = 1;
   std::size_t shards = 0;  ///< 0 = leave each request's own value.
+  std::size_t deadline_ms = 0;  ///< 0 = leave each request's own value.
+  std::size_t max_nodes = 0;    ///< 0 = leave each request's own value.
+  std::size_t max_queue = 0;    ///< 0 = unbounded admission.
   std::optional<bdd::TableMode> table_mode;  ///< Unset = per-request value.
   bool want_traces = false;
   bool stats = false;
@@ -131,6 +147,12 @@ BatchJob parse_line(const std::string& raw, const BatchOptions& options,
   if (job.input_error.empty() && options.shards > 0) {
     job.request.shards = options.shards;
   }
+  if (job.input_error.empty() && options.deadline_ms > 0) {
+    job.request.deadline_ms = options.deadline_ms;
+  }
+  if (job.input_error.empty() && options.max_nodes > 0) {
+    job.request.max_live_nodes = options.max_nodes;
+  }
   if (job.input_error.empty() && options.table_mode) {
     job.request.table_mode = *options.table_mode;
   }
@@ -153,6 +175,30 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc || !parse_count(argv[++i], &options.shards) ||
           options.shards == 0) {
         std::fprintf(stderr, "error: --shards needs a positive integer\n\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      if (i + 1 >= argc || !parse_count(argv[++i], &options.deadline_ms) ||
+          options.deadline_ms == 0) {
+        std::fprintf(stderr,
+                     "error: --deadline-ms needs a positive integer\n\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--max-nodes") == 0) {
+      if (i + 1 >= argc || !parse_count(argv[++i], &options.max_nodes) ||
+          options.max_nodes == 0) {
+        std::fprintf(stderr,
+                     "error: --max-nodes needs a positive integer\n\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--max-queue") == 0) {
+      if (i + 1 >= argc || !parse_count(argv[++i], &options.max_queue) ||
+          options.max_queue == 0) {
+        std::fprintf(stderr,
+                     "error: --max-queue needs a positive integer\n\n");
         usage(stderr);
         return 2;
       }
@@ -223,8 +269,15 @@ int main(int argc, char** argv) {
   // result's covered-set handles need them), so submitting a huge
   // manifest all at once would make resident memory grow with the batch
   // instead of with --jobs.
-  engine::Executor executor{
-      engine::ExecutorOptions{options.jobs, nullptr}};
+  // --max-queue bounds the executor queue with blocking backpressure:
+  // the submission window below already paces this driver, so the bound
+  // is belt-and-suspenders here, but it exercises the exact admission
+  // path a server front-end would rely on.
+  engine::ExecutorOptions executor_options;
+  executor_options.workers = options.jobs;
+  executor_options.max_queue_depth = options.max_queue;
+  executor_options.admission = engine::AdmissionPolicy::kBlock;
+  engine::Executor executor{executor_options};
   const std::size_t window = 2 * executor.worker_count();
   std::vector<engine::JobHandle> handles(batch.size());
   std::size_t submitted = 0;
@@ -241,18 +294,26 @@ int main(int argc, char** argv) {
   json.include_stats = options.stats;
   bool any_error = false;
   bool any_failure = false;
+  bool any_limited = false;
   for (std::size_t i = 0; i < batch.size(); ++i) {
     submit_until(i + window);
     engine::SuiteResult result;
     if (!batch[i].input_error.empty()) {
       result.error = batch[i].input_error;
+      result.status = engine::ResultStatus::kError;
     } else {
       result = handles[i].take();
     }
     any_error = any_error || !result.error.empty();
     any_failure = any_failure || result.failures > 0;
+    any_limited =
+        any_limited ||
+        result.status == engine::ResultStatus::kDeadlineExceeded ||
+        result.status == engine::ResultStatus::kResourceExhausted ||
+        result.status == engine::ResultStatus::kAdmissionRejected;
     std::fputs(engine::to_json(result, json).c_str(), stdout);
     std::fflush(stdout);
   }
+  if (any_limited) return 3;  // Resource limits trump property failures.
   return (any_error || any_failure) ? 1 : 0;
 }

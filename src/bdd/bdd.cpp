@@ -44,6 +44,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "util/governance.h"
+
 namespace covest::bdd {
 
 namespace {
@@ -494,6 +496,13 @@ NodeIndex BddManager::make_node_lockfree(ThreadCtx& tc, Var v, NodeIndex low,
 }
 
 NodeIndex BddManager::allocate_node() {
+  if (covest::FaultInjector::should_fail(
+          covest::FaultInjector::Site::kAllocation)) {
+    throw covest::ResourceExhausted(
+        "BddManager: injected allocation failure",
+        static_cast<std::size_t>(allocated()) - 1 - free_count_,
+        max_live_nodes_);
+  }
   if (free_head_ != kInvalidIndex) {
     const NodeIndex n = free_head_;
     free_head_ = node_at(n).next;
@@ -509,12 +518,29 @@ NodeIndex BddManager::allocate_node() {
   if (next >= edge_node(kInvalidIndex)) {
     throw std::length_error("BddManager: node pool exceeds 2^31 slots");
   }
+  // The free list is empty here, so occupancy == next - 1 (terminal
+  // excluded) and growing by one slot would exceed the budget.
+  if (max_live_nodes_ != 0 &&
+      static_cast<std::size_t>(next) - 1 >= max_live_nodes_) {
+    throw covest::ResourceExhausted("BddManager: node budget exhausted",
+                                    static_cast<std::size_t>(next) - 1,
+                                    max_live_nodes_);
+  }
   ensure_pool(static_cast<std::size_t>(next) + 1);
   allocated_.store(next + 1, std::memory_order_relaxed);
   return next;
 }
 
 NodeIndex BddManager::allocate_node_shared(ThreadCtx& tc) {
+  if (covest::FaultInjector::should_fail(
+          covest::FaultInjector::Site::kAllocation)) {
+    // free_count_ needs alloc_mu_ in shared mode; report the pool bound
+    // instead (occupancy <= allocated - 1) — close enough for an
+    // injected failure's diagnostics.
+    throw covest::ResourceExhausted(
+        "BddManager: injected allocation failure",
+        static_cast<std::size_t>(allocated()) - 1, max_live_nodes_);
+  }
   if (!tc.recycled.empty()) {
     const NodeIndex n = tc.recycled.back();
     tc.recycled.pop_back();
@@ -550,6 +576,15 @@ NodeIndex BddManager::allocate_node_shared(ThreadCtx& tc) {
   const NodeIndex base = allocated();
   if (base >= edge_node(kInvalidIndex) - kArenaBlock) {
     throw std::length_error("BddManager: node pool exceeds 2^31 slots");
+  }
+  // Budget check at arena-refill granularity (under alloc_mu_, so
+  // free_count_ is stable): the free list was just drained, so a fresh
+  // block only happens when occupancy is at the pool bound.
+  if (max_live_nodes_ != 0 &&
+      static_cast<std::size_t>(base) - 1 - free_count_ >= max_live_nodes_) {
+    throw covest::ResourceExhausted(
+        "BddManager: node budget exhausted",
+        static_cast<std::size_t>(base) - 1 - free_count_, max_live_nodes_);
   }
   ensure_pool(static_cast<std::size_t>(base) + kArenaBlock);
   allocated_.store(base + kArenaBlock, std::memory_order_relaxed);
@@ -698,6 +733,11 @@ void BddManager::maybe_gc() {
   gc();
   const std::size_t live = allocated() - 1 - free_count_;
   if (live * 4 > gc_threshold_ * 3) gc_threshold_ *= 2;
+}
+
+void BddManager::set_max_live_nodes(std::size_t budget) {
+  require_exclusive("set_max_live_nodes");
+  max_live_nodes_ = budget;
 }
 
 void BddManager::clear_cache() {

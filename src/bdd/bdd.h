@@ -383,6 +383,18 @@ class BddManager {
   /// cold-cache behaviour.
   void clear_cache();
 
+  /// Node budget: when nonzero, growing the pool past `budget` occupied
+  /// slots throws covest::ResourceExhausted instead of allocating.
+  /// Occupancy is `allocated() - 1 - free_count` (terminal excluded) —
+  /// live nodes plus garbage the next GC would reclaim — so the budget
+  /// bounds resident pool memory, not the reachable-node count. Applies
+  /// to both epochs; in shared mode enforcement is per arena refill, so
+  /// up to `kArenaBlock` slots per shard thread of slack. Settable only
+  /// in exclusive mode; exhaustion fires before any slot is handed out,
+  /// so the pool is never left inconsistent.
+  void set_max_live_nodes(std::size_t budget);
+  std::size_t max_live_nodes() const noexcept { return max_live_nodes_; }
+
   // -- Dynamic variable reordering ------------------------------------------------
 
   /// Swaps the variables at `level` and `level + 1`. The functions of all
@@ -748,6 +760,7 @@ class BddManager {
   NodeIndex free_head_ = kInvalidIndex;
   std::size_t free_count_ = 0;
   std::size_t gc_threshold_;
+  std::size_t max_live_nodes_ = 0;  ///< 0 = unbudgeted (see setter).
   /// Exclusive-mode thread-affinity guard: `make_node` asserts (debug
   /// builds) that node construction happens on this thread. See
   /// `rebind_to_current_thread`. In shared mode the guard is

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/governance.h"
+
 namespace covest::core {
 
 using bdd::Bdd;
@@ -54,6 +56,7 @@ Bdd CoverageEstimator::reachable_fair(const Bdd& s) {
   Bdd reached = s;
   Bdd frontier = s;
   while (!frontier.is_false()) {
+    covest::governor_tick();
     frontier = forward_fair(frontier) - reached;
     reached |= frontier;
   }
@@ -106,6 +109,7 @@ Bdd CoverageEstimator::traverse(const Bdd& s0, const Bdd& t1, const Bdd& t2) {
   Bdd acc = s0 & band;
   Bdd frontier = acc;
   while (!frontier.is_false()) {
+    covest::governor_tick();
     frontier = (forward_fair(frontier) & band) - acc;
     acc |= frontier;
   }
@@ -133,6 +137,7 @@ Bdd CoverageEstimator::firstreached(const Bdd& s0, const Bdd& t2) {
   Bdd visited = s0;
   Bdd frontier = s0 - t2;
   while (!frontier.is_false()) {
+    covest::governor_tick();
     const Bdd next = forward_fair(frontier) - visited;
     visited |= next;
     first |= next & t2;

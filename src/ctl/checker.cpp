@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/governance.h"
+
 namespace covest::ctl {
 
 using bdd::Bdd;
@@ -81,6 +83,7 @@ Bdd ModelChecker::eu_plain(const Bdd& p, const Bdd& q) {
   // lfp Z. q | (p & EX Z), computed as an accumulating frontier loop.
   Bdd z = q;
   while (true) {
+    covest::governor_tick();
     const Bdd next = z | (p & fsm_.backward(z));
     if (next == z) return z;
     z = next;
@@ -92,6 +95,7 @@ Bdd ModelChecker::eg(const Bdd& p) {
   // Emerson-Lei: gfp Z. p & /\_k EX E[p U (Z & c_k)].
   Bdd z = p;
   while (true) {
+    covest::governor_tick();
     Bdd next = p;
     for (const Bdd& c : fsm_.fairness()) {
       next &= fsm_.backward(eu_plain(p, z & c));
@@ -105,6 +109,7 @@ Bdd ModelChecker::eg_plain(const Bdd& p) {
   // gfp Z. p & EX Z.
   Bdd z = p;
   while (true) {
+    covest::governor_tick();
     const Bdd next = z & fsm_.backward(z);
     if (next == z) return z;
     z = next;

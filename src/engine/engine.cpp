@@ -11,6 +11,7 @@
 #include "engine/executor.h"
 #include "fsm/trace.h"
 #include "model/model_parser.h"
+#include "util/governance.h"
 #include "util/time.h"
 
 namespace covest::engine {
@@ -46,10 +47,42 @@ PhaseStats snapshot(bdd::BddManager& mgr, double ms) {
   p.peak_live_nodes = st.peak_live_nodes;
   p.cache_hit_rate = st.cache_hit_rate();
   p.passes = 1;  // This session ran the phase once; merges may sum.
+  p.node_budget = mgr.max_live_nodes();
   return p;
 }
 
 }  // namespace
+
+const char* to_string(ResultStatus status) noexcept {
+  switch (status) {
+    case ResultStatus::kOk:
+      return "ok";
+    case ResultStatus::kCancelled:
+      return "cancelled";
+    case ResultStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ResultStatus::kResourceExhausted:
+      return "resource_exhausted";
+    case ResultStatus::kAdmissionRejected:
+      return "admission_rejected";
+    case ResultStatus::kError:
+      return "error";
+  }
+  return "ok";  // Unreachable for in-range enums.
+}
+
+bool result_status_from_string(const std::string& text, ResultStatus* out) {
+  for (const ResultStatus s :
+       {ResultStatus::kOk, ResultStatus::kCancelled,
+        ResultStatus::kDeadlineExceeded, ResultStatus::kResourceExhausted,
+        ResultStatus::kAdmissionRejected, ResultStatus::kError}) {
+    if (text == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
 
 std::size_t effective_shards(std::size_t requested, std::size_t rows) {
   if (requested <= 1 || rows <= 1) return 1;
@@ -105,8 +138,11 @@ std::vector<std::string> resolve_signal_names(const CoverageRequest& request,
   return {seen.begin(), seen.end()};
 }
 
-Session::Session(const model::Model& model, core::CoverageOptions options)
-    : fsm_(model), checker_(fsm_), estimator_(checker_, lenient(options)) {}
+Session::Session(const model::Model& model, core::CoverageOptions options,
+                 std::size_t max_live_nodes)
+    : fsm_(model, max_live_nodes),
+      checker_(fsm_),
+      estimator_(checker_, lenient(options)) {}
 
 /// One signal row. Everything read here is immutable during estimation
 /// (specs/formulas/outcomes are fixed once verification finished) or
@@ -159,6 +195,21 @@ SignalRow Session::estimate_row(const CoverageRequest& request,
 SuiteResult Session::run(const CoverageRequest& request,
                          const RunHooks& hooks) {
   const auto t_run = Clock::now();
+
+  // Governance: adopt the ambient governor when one is installed (the
+  // executor's, whose clock started at submission so queue time counts);
+  // direct library callers get a local one scoped to this run. Either
+  // way every phase boundary below and every BDD fix-point iteration
+  // under this frame ticks against the same deadline.
+  std::optional<covest::RunGovernor> local_governor;
+  std::optional<covest::RunGovernor::Scope> local_scope;
+  covest::RunGovernor* governor = covest::RunGovernor::current();
+  if (governor == nullptr) {
+    local_governor.emplace(request.deadline_ms);
+    governor = &*local_governor;
+    local_scope.emplace(governor);
+  }
+
   SuiteResult result;
   const model::Model& m = model();
   result.model_name = m.name();
@@ -167,6 +218,21 @@ SuiteResult Session::run(const CoverageRequest& request,
 
   const auto progress = [&hooks](const Progress& p) {
     return !hooks.on_progress || hooks.on_progress(p);
+  };
+
+  // Converts a governance stop into the partial-result contract: the
+  // completed prefix stays, the failing phase's stats record where and
+  // why the run was limited, and nothing throws past this frame.
+  const auto mark_limited = [&](ResultStatus status, const char* phase_name,
+                                const char* what, PhaseStats* phase,
+                                double phase_ms, std::size_t live,
+                                std::size_t budget) {
+    *phase = snapshot(fsm_.mgr(), phase_ms);
+    if (live != 0) phase->live_nodes = live;
+    if (budget != 0) phase->node_budget = budget;
+    result.status = status;
+    result.status_detail = std::string(phase_name) + ": " + what;
+    result.total_ms = ms_since(t_run);
   };
 
   // -- Resolve the suite ----------------------------------------------------
@@ -182,35 +248,48 @@ SuiteResult Session::run(const CoverageRequest& request,
 
   // -- Verify ---------------------------------------------------------------
   const auto t_verify = Clock::now();
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto t_prop = Clock::now();
-    const ctl::CheckResult check = checker_.check(formulas[i]);
-    PropertyResult pr;
-    pr.ctl_text = !specs[i].ctl_text.empty() ? specs[i].ctl_text
-                                             : ctl::to_string(formulas[i]);
-    pr.comment = specs[i].comment;
-    pr.observe = specs[i].observe;
-    pr.holds = check.holds;
-    pr.skipped = !check.holds && !request.skip_failing;
-    if (check.counterexample) {
-      pr.counterexample = make_trace_result(fsm_, *check.counterexample);
-    }
-    pr.check_ms = ms_since(t_prop);
-    if (!pr.holds) ++result.failures;
-    result.properties.push_back(std::move(pr));
+  try {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      governor->tick();  // Phase-boundary deadline check.
+      const auto t_prop = Clock::now();
+      const ctl::CheckResult check = checker_.check(formulas[i]);
+      PropertyResult pr;
+      pr.ctl_text = !specs[i].ctl_text.empty() ? specs[i].ctl_text
+                                               : ctl::to_string(formulas[i]);
+      pr.comment = specs[i].comment;
+      pr.observe = specs[i].observe;
+      pr.holds = check.holds;
+      pr.skipped = !check.holds && !request.skip_failing;
+      if (check.counterexample) {
+        pr.counterexample = make_trace_result(fsm_, *check.counterexample);
+      }
+      pr.check_ms = ms_since(t_prop);
+      if (!pr.holds) ++result.failures;
+      result.properties.push_back(std::move(pr));
 
-    Progress p;
-    p.phase = Progress::Phase::kVerify;
-    p.index = i + 1;
-    p.total = specs.size();
-    p.item = result.properties.back().ctl_text;
-    p.ok = check.holds;
-    if (!progress(p)) {
-      result.cancelled = true;
-      result.verify = snapshot(fsm_.mgr(), ms_since(t_verify));
-      result.total_ms = ms_since(t_run);
-      return result;
+      Progress p;
+      p.phase = Progress::Phase::kVerify;
+      p.index = i + 1;
+      p.total = specs.size();
+      p.item = result.properties.back().ctl_text;
+      p.ok = check.holds;
+      if (!progress(p)) {
+        result.cancelled = true;
+        result.status = ResultStatus::kCancelled;
+        result.verify = snapshot(fsm_.mgr(), ms_since(t_verify));
+        result.total_ms = ms_since(t_run);
+        return result;
+      }
     }
+  } catch (const covest::DeadlineExceeded& e) {
+    mark_limited(ResultStatus::kDeadlineExceeded, "verify", e.what(),
+                 &result.verify, ms_since(t_verify), 0, 0);
+    return result;
+  } catch (const covest::ResourceExhausted& e) {
+    mark_limited(ResultStatus::kResourceExhausted, "verify", e.what(),
+                 &result.verify, ms_since(t_verify), e.live_nodes(),
+                 e.budget());
+    return result;
   }
   result.verify = snapshot(fsm_.mgr(), ms_since(t_verify));
 
@@ -220,35 +299,61 @@ SuiteResult Session::run(const CoverageRequest& request,
   // -- Estimate -------------------------------------------------------------
   // The plain-reachability count is bookkeeping, not estimation: keep it
   // outside the estimate timer so the verification-vs-coverage cost
-  // comparison (Table 2's point) stays faithful.
-  if (!reachable_count_) {
-    reachable_count_ =
-        fsm_.count_states(fsm_.reachable(fsm_.initial_states()));
-  }
-  result.reachable_states = *reachable_count_;
+  // comparison (Table 2's point) stays faithful. It can still hit the
+  // deadline or budget (the reachability fix-point ticks), attributed
+  // to the estimate phase it gates.
   const auto t_estimate = Clock::now();
-  result.space_count = fsm_.count_states(estimator_.coverage_space());
+  try {
+    if (!reachable_count_) {
+      reachable_count_ =
+          fsm_.count_states(fsm_.reachable(fsm_.initial_states()));
+    }
+    result.reachable_states = *reachable_count_;
+    result.space_count = fsm_.count_states(estimator_.coverage_space());
+  } catch (const covest::DeadlineExceeded& e) {
+    mark_limited(ResultStatus::kDeadlineExceeded, "estimate", e.what(),
+                 &result.estimate, ms_since(t_estimate), 0, 0);
+    return result;
+  } catch (const covest::ResourceExhausted& e) {
+    mark_limited(ResultStatus::kResourceExhausted, "estimate", e.what(),
+                 &result.estimate, ms_since(t_estimate), e.live_nodes(),
+                 e.budget());
+    return result;
+  }
 
   const std::size_t fan_out = effective_shards(request.shards, names.size());
   if (fan_out <= 1) {
     // Serial estimation: one row at a time on the calling thread.
-    for (std::size_t i = 0; i < names.size(); ++i) {
-      SignalRow row = estimate_row(request, names[i], specs, formulas,
-                                   result.properties);
+    try {
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        governor->tick();  // Per-row deadline check.
+        SignalRow row = estimate_row(request, names[i], specs, formulas,
+                                     result.properties);
 
-      Progress p;
-      p.phase = Progress::Phase::kEstimate;
-      p.index = i + 1;
-      p.total = names.size();
-      p.item = names[i];
-      p.percent = row.percent;
-      result.signals.push_back(std::move(row));
-      if (!progress(p)) {
-        result.cancelled = true;
-        result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
-        result.total_ms = ms_since(t_run);
-        return result;
+        Progress p;
+        p.phase = Progress::Phase::kEstimate;
+        p.index = i + 1;
+        p.total = names.size();
+        p.item = names[i];
+        p.percent = row.percent;
+        result.signals.push_back(std::move(row));
+        if (!progress(p)) {
+          result.cancelled = true;
+          result.status = ResultStatus::kCancelled;
+          result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
+          result.total_ms = ms_since(t_run);
+          return result;
+        }
       }
+    } catch (const covest::DeadlineExceeded& e) {
+      mark_limited(ResultStatus::kDeadlineExceeded, "estimate", e.what(),
+                   &result.estimate, ms_since(t_estimate), 0, 0);
+      return result;
+    } catch (const covest::ResourceExhausted& e) {
+      mark_limited(ResultStatus::kResourceExhausted, "estimate", e.what(),
+                   &result.estimate, ms_since(t_estimate), e.live_nodes(),
+                   e.budget());
+      return result;
     }
   } else {
     // Sharded estimation: the suite was parsed, elaborated and verified
@@ -270,12 +375,17 @@ SuiteResult Session::run(const CoverageRequest& request,
       estimators.reserve(fan_out);
       for (std::size_t s = 0; s < fan_out; ++s) {
         estimators.emplace_back([&, s] {
+          // All estimator threads share the run's governor: the fixed
+          // deadline is read-only and the expiry latch is atomic, so
+          // one shard expiring stops the siblings at their next tick.
+          covest::RunGovernor::Scope thread_scope(governor);
           try {
             mgr.register_shard_thread();
             const auto [first, last] =
                 shard_chunk_range(names.size(), s, fan_out);
             for (std::size_t i = first; i < last; ++i) {
               if (stop.load(std::memory_order_relaxed)) break;
+              governor->tick();  // Per-row deadline check.
               SignalRow row = estimate_row(request, names[i], specs,
                                            formulas, result.properties);
 
@@ -310,14 +420,46 @@ SuiteResult Session::run(const CoverageRequest& request,
       for (std::thread& t : estimators) t.join();
     }
     mgr.end_shared();
+    std::exception_ptr first;
     for (const std::exception_ptr& e : failures) {
-      if (e) std::rethrow_exception(e);  // First shard's defect wins.
+      if (e) {
+        first = e;  // First shard's defect wins.
+        break;
+      }
+    }
+    ResultStatus limited_status = ResultStatus::kOk;
+    std::string limited_what;
+    std::size_t limited_live = 0;
+    std::size_t limited_budget = 0;
+    if (first) {
+      // Governance stops become partial results with the chunk prefixes
+      // computed so far (the same shape as a sharded cancel); anything
+      // else keeps the pre-existing contract and rethrows out of this
+      // frame as a structured error.
+      try {
+        std::rethrow_exception(first);
+      } catch (const covest::DeadlineExceeded& e) {
+        limited_status = ResultStatus::kDeadlineExceeded;
+        limited_what = e.what();
+      } catch (const covest::ResourceExhausted& e) {
+        limited_status = ResultStatus::kResourceExhausted;
+        limited_what = e.what();
+        limited_live = e.live_nodes();
+        limited_budget = e.budget();
+      }
     }
     for (std::vector<SignalRow>& chunk : chunk_rows) {
       for (SignalRow& row : chunk) result.signals.push_back(std::move(row));
     }
+    if (limited_status != ResultStatus::kOk) {
+      mark_limited(limited_status, "estimate", limited_what.c_str(),
+                   &result.estimate, ms_since(t_estimate), limited_live,
+                   limited_budget);
+      return result;
+    }
     if (cancelled.load()) {
       result.cancelled = true;
+      result.status = ResultStatus::kCancelled;
       result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
       result.total_ms = ms_since(t_run);
       return result;
@@ -352,7 +494,8 @@ model::Model Engine::load_model(const CoverageRequest& request) {
 }
 
 std::unique_ptr<Session> Engine::open(const CoverageRequest& request) const {
-  return std::make_unique<Session>(load_model(request), request.options);
+  return std::make_unique<Session>(load_model(request), request.options,
+                                   request.max_live_nodes);
 }
 
 SuiteResult Engine::run(const CoverageRequest& request,

@@ -116,6 +116,29 @@ std::pair<std::size_t, std::size_t> shard_chunk_range(std::size_t total,
                                                       std::size_t shard,
                                                       std::size_t shards);
 
+/// Structured final status of a suite run: the machine-readable failure
+/// taxonomy the result JSON, the executor and the CLIs all share. `kOk`
+/// and `kCancelled` mirror the pre-existing `cancelled` flag; `kError`
+/// mirrors a non-empty `SuiteResult::error`; the three governance
+/// statuses are new and always come with a partial (never corrupt)
+/// result.
+enum class ResultStatus {
+  kOk,
+  kCancelled,          ///< A progress hook returned false.
+  kDeadlineExceeded,   ///< `deadline_ms` expired mid-run.
+  kResourceExhausted,  ///< The BddManager node budget was hit.
+  kAdmissionRejected,  ///< A bounded executor queue refused the job.
+  kError,              ///< Structured error (see `SuiteResult::error`).
+};
+
+/// JSON/CLI spelling: "ok", "cancelled", "deadline_exceeded",
+/// "resource_exhausted", "admission_rejected", "error".
+const char* to_string(ResultStatus status) noexcept;
+
+/// Strict inverse of `to_string`: false (and `*out` untouched) for
+/// anything but the six canonical spellings.
+bool result_status_from_string(const std::string& text, ResultStatus* out);
+
 /// Declarative description of one suite job.
 struct CoverageRequest {
   // -- Model source: exactly one of the three -------------------------------
@@ -161,6 +184,20 @@ struct CoverageRequest {
   /// results are byte-identical either way). Ignored when the run
   /// never enters shared mode (serial or replicated).
   bdd::TableMode table_mode = bdd::TableMode::kLockFree;
+
+  // -- Resource governance ----------------------------------------------------
+  /// Wall-clock budget for the whole run in milliseconds (0 = none).
+  /// Measured on the monotonic clock from job start (under the
+  /// executor, from submission — queue time counts). Expiry stops the
+  /// run at the next governance tick — the phase-boundary hook points
+  /// or the coarse tick inside the BDD fix-point loops — and yields the
+  /// partial result with `ResultStatus::kDeadlineExceeded`.
+  std::uint64_t deadline_ms = 0;
+  /// Node budget for this run's BddManager(s), 0 = unlimited (see
+  /// bdd::BddManager::set_max_live_nodes for the exact semantics).
+  /// Exhaustion yields `ResultStatus::kResourceExhausted` with the
+  /// count and budget recorded in the failing phase's stats.
+  std::size_t max_live_nodes = 0;
 };
 
 /// The effective property suite of a request on its model: the request's
@@ -229,6 +266,9 @@ struct PhaseStats {
   /// a replicated sharded run, 0 when the phase never ran (errors,
   /// early cancellation).
   std::size_t passes = 0;
+  /// The manager's `max_live_nodes` budget during the run; 0 when
+  /// unbudgeted (and then omitted from the JSON stats).
+  std::size_t node_budget = 0;
 };
 
 /// Structured outcome of a whole suite run.
@@ -255,6 +295,14 @@ struct SuiteResult {
   /// paths (executor, covest_batch) report errors structurally instead
   /// of throwing; `Engine::run` rethrows for API compatibility.
   std::string error;
+  /// Structured status (the taxonomy above). Partial results from a
+  /// deadline/budget/admission stop are well-formed — completed
+  /// property and row prefixes are byte-identical to the corresponding
+  /// prefix of an unlimited run — just truncated.
+  ResultStatus status = ResultStatus::kOk;
+  /// Human-readable detail for non-ok statuses ("estimate: deadline of
+  /// 50 ms expired", ...). Empty when `status == kOk`.
+  std::string status_detail;
 
   PhaseStats elaborate;  ///< Parse + FSM elaboration.
   PhaseStats verify;     ///< Model checking of the suite.
@@ -309,8 +357,12 @@ struct RunHooks {
 /// Section 3).
 class Session {
  public:
+  /// `max_live_nodes` (0 = unlimited) budgets the session's manager for
+  /// its whole life, elaboration included; the constructor throws
+  /// covest::ResourceExhausted when elaboration itself exhausts it.
   explicit Session(const model::Model& model,
-                   core::CoverageOptions options = {});
+                   core::CoverageOptions options = {},
+                   std::size_t max_live_nodes = 0);
 
   const model::Model& model() const { return fsm_.model(); }
   const fsm::SymbolicFsm& fsm() const { return fsm_; }

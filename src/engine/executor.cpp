@@ -9,6 +9,7 @@
 
 #include "core/observed.h"
 #include "ctl/ctl_parser.h"
+#include "util/governance.h"
 #include "util/time.h"
 
 namespace covest::engine {
@@ -32,6 +33,10 @@ struct JobState {
   /// rows are resolved, before any estimation event fires), else
   /// `shard_count`.
   std::size_t event_shards = 1;
+  /// The job-wide deadline clock, started at submission so queue time
+  /// counts; all of the job's tasks (and, through the thread-local
+  /// scope, every estimator thread they spawn) tick against it.
+  std::shared_ptr<covest::RunGovernor> governor;
   std::atomic<bool> cancel{false};
   /// A shard hit an error: sibling shards abort early — their rows
   /// would be dropped anyway, because an errored job reports error-only
@@ -128,6 +133,7 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
   if (job.cancel.load(std::memory_order_relaxed) ||
       job.failed.load(std::memory_order_relaxed)) {
     result.cancelled = true;
+    result.status = ResultStatus::kCancelled;
     return result;
   }
 
@@ -138,10 +144,16 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
     job.emit(started);
   }
 
+  // Install the job's deadline governor for everything below: the
+  // session adopts it instead of creating its own, so parse and
+  // elaborate (which run before Session::run) are governed too.
+  covest::RunGovernor::Scope governor_scope(job.governor.get());
+  const char* stage = "parse";
   try {
     const model::Model m = Engine::load_model(job.request);
     const std::vector<std::string> names =
         resolve_signal_names(job.request, m);
+    job.governor->tick();  // Parse-phase deadline boundary.
 
     // Replicated sharding splits the *signals* across independent tasks
     // (each re-verifies on its own manager); the shared-manager path
@@ -172,8 +184,11 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
     // signal) surfaces as shard 0's — and thus the job's — error.
     if (shard == 0) validate_request(job.request, m, names);
 
-    auto session = std::make_shared<Session>(m, job.request.options);
+    stage = "elaborate";
+    auto session = std::make_shared<Session>(m, job.request.options,
+                                             job.request.max_live_nodes);
     const double elaborate_ms = ms_since(t0);
+    job.governor->tick();  // Elaborate-phase deadline boundary.
 
     // The facade's elaborate tick (shard 0 carries the serial progress
     // contract; other shards only report through events).
@@ -187,6 +202,7 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
         result.model_name = session->model().name();
         result.state_bits = session->model().state_bit_count();
         result.cancelled = true;
+        result.status = ResultStatus::kCancelled;
         result.elaborate.ms = elaborate_ms;
         result.total_ms = ms_since(t0);
         return result;
@@ -263,12 +279,31 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
 
     std::lock_guard<std::mutex> lock(job.mu);
     job.sessions.push_back(std::move(session));
+  } catch (const covest::DeadlineExceeded& e) {
+    // Expired before Session::run could convert it (parse/elaborate
+    // boundaries above; inside the run the session returns the status
+    // as data). A structured status, not an error — so no `failed`
+    // fail-fast: replicated siblings share the job governor and expire
+    // at their own next tick.
+    result = SuiteResult{};
+    result.status = ResultStatus::kDeadlineExceeded;
+    result.status_detail = std::string(stage) + ": " + e.what();
+    result.total_ms = ms_since(t0);
+  } catch (const covest::ResourceExhausted& e) {
+    result = SuiteResult{};
+    result.status = ResultStatus::kResourceExhausted;
+    result.status_detail = std::string(stage) + ": " + e.what();
+    result.elaborate.live_nodes = e.live_nodes();
+    result.elaborate.node_budget = e.budget();
+    result.total_ms = ms_since(t0);
   } catch (const std::exception& e) {
     result.error = e.what();
+    result.status = ResultStatus::kError;
     result.total_ms = ms_since(t0);
     job.failed.store(true, std::memory_order_relaxed);
   } catch (...) {
     result.error = "unknown error in coverage worker";
+    result.status = ResultStatus::kError;
     result.total_ms = ms_since(t0);
     job.failed.store(true, std::memory_order_relaxed);
   }
@@ -285,6 +320,14 @@ SuiteResult merge_shards(JobState& job) {
     for (SignalRow& row : r.signals) merged.signals.push_back(std::move(row));
     if (merged.error.empty() && !r.error.empty()) merged.error = r.error;
     merged.cancelled = merged.cancelled || r.cancelled;
+    // First non-ok status wins (shard order == request order), matching
+    // the sharded error rule below and the in-session "first shard's
+    // defect wins" rule.
+    if (merged.status == ResultStatus::kOk &&
+        r.status != ResultStatus::kOk) {
+      merged.status = r.status;
+      merged.status_detail = std::move(r.status_detail);
+    }
     merged.total_ms = std::max(merged.total_ms, r.total_ms);
     // Report the CPU actually spent: every replicated shard elaborates
     // and re-verifies the whole suite, so phase times — and the `passes`
@@ -307,6 +350,7 @@ SuiteResult merge_shards(JobState& job) {
     // of those siblings must not read as a user cancellation.
     SuiteResult error_only;
     error_only.error = std::move(merged.error);
+    error_only.status = ResultStatus::kError;
     error_only.total_ms = merged.total_ms;
     return error_only;
   }
@@ -335,6 +379,13 @@ void JobHandle::wait() const {
   if (!state_) return;
   std::unique_lock<std::mutex> lock(state_->mu);
   state_->cv.wait(lock, [this] { return state_->ready; });
+}
+
+bool JobHandle::wait_for(std::chrono::milliseconds timeout) const {
+  if (!state_) return false;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, timeout,
+                             [this] { return state_->ready; });
 }
 
 void JobHandle::cancel() const {
@@ -376,8 +427,14 @@ struct Executor::Impl {
 
   std::mutex mu;
   std::condition_variable cv;
+  /// Signalled by workers when they pop a task; blocked (kBlock-policy)
+  /// submitters wait on it for queue room.
+  std::condition_variable space_cv;
   std::deque<Task> queue;
   bool stopping = false;
+  /// Immutable after construction (read without `mu`).
+  std::size_t max_queue_depth = 0;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
   std::uint64_t next_job_id = 1;
   /// Every live submitted job (weak: dead once taken and dropped);
   /// cancel_all walks it, submit prunes expired entries amortized.
@@ -388,6 +445,8 @@ struct Executor::Impl {
 
 Executor::Executor(ExecutorOptions options) : impl_(new Impl) {
   impl_->on_event = std::move(options.on_event);
+  impl_->max_queue_depth = options.max_queue_depth;
+  impl_->admission = options.admission;
   std::size_t n = options.workers;
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -420,6 +479,7 @@ void Executor::worker_loop() {
       task = std::move(impl_->queue.front());
       impl_->queue.pop_front();
     }
+    impl_->space_cv.notify_all();  // A bounded queue just gained room.
 
     JobState& job = *task.job;
     SuiteResult shard_result = run_shard(job, task.shard);
@@ -440,6 +500,7 @@ void Executor::worker_loop() {
       ev.kind = JobEvent::Kind::kFinished;
       ev.cancelled = job.result.cancelled;
       ev.error = job.result.error;
+      ev.status = job.result.status;
       job.emit(ev);
       {
         std::lock_guard<std::mutex> lock(job.mu);
@@ -467,7 +528,14 @@ JobHandle Executor::submit(CoverageRequest request, JobHooks hooks) {
           : 1;
   state->event_shards = state->shard_count;
   state->shard_results.resize(state->shard_count);
+  // The deadline clock starts now: queue wait counts, as a server's
+  // admission-to-response budget would.
+  state->governor =
+      std::make_shared<covest::RunGovernor>(state->request.deadline_ms);
 
+  const bool injected_reject = covest::FaultInjector::should_fail(
+      covest::FaultInjector::Site::kAdmission);
+  bool reject = injected_reject;
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     state->id = impl_->next_job_id++;
@@ -479,6 +547,32 @@ JobHandle Executor::submit(CoverageRequest request, JobHooks hooks) {
       impl_->next_prune = std::max<std::size_t>(64, impl_->jobs.size() * 2);
     }
     impl_->jobs.push_back(state);
+    if (!reject && impl_->max_queue_depth != 0 &&
+        impl_->admission == AdmissionPolicy::kReject &&
+        impl_->queue.size() + state->shard_count > impl_->max_queue_depth) {
+      reject = true;
+    }
+  }
+  if (reject) {
+    // Refused at admission: the job never reaches a worker, so its
+    // event stream is a single kFinished (kQueued would be a lie — the
+    // rejected-job stream shape is documented on AdmissionPolicy).
+    state->result.status = ResultStatus::kAdmissionRejected;
+    state->result.status_detail =
+        injected_reject
+            ? "admission rejected (fault injection)"
+            : "executor queue full (max_queue_depth=" +
+                  std::to_string(impl_->max_queue_depth) + ")";
+    JobEvent finished;
+    finished.kind = JobEvent::Kind::kFinished;
+    finished.status = state->result.status;
+    state->emit(finished);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->ready = true;
+    }
+    state->cv.notify_all();
+    return JobHandle(state);
   }
   // kQueued fires before the tasks become visible to workers, so a
   // job's event stream always starts with it.
@@ -486,7 +580,19 @@ JobHandle Executor::submit(CoverageRequest request, JobHooks hooks) {
   queued.kind = JobEvent::Kind::kQueued;
   state->emit(queued);
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    if (impl_->max_queue_depth != 0 &&
+        impl_->admission == AdmissionPolicy::kBlock) {
+      // Backpressure: hold the submitter until the queue has room. An
+      // empty queue always admits (a job wider than the whole bound
+      // must not deadlock), and shutdown releases the wait — accepted
+      // work still runs under the destructor's drain semantics.
+      impl_->space_cv.wait(lock, [this, &state] {
+        return impl_->stopping || impl_->queue.empty() ||
+               impl_->queue.size() + state->shard_count <=
+                   impl_->max_queue_depth;
+      });
+    }
     for (std::size_t s = 0; s < state->shard_count; ++s) {
       impl_->queue.push_back(Impl::Task{state, s});
     }

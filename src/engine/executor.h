@@ -45,6 +45,7 @@
 // (kQueued on the submitting thread); the callee synchronizes.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -83,6 +84,10 @@ struct JobEvent {
   Progress progress;       ///< Valid for kVerifying/kEstimating/kRowDone.
   bool cancelled = false;  ///< kFinished: the job was cancelled.
   std::string error;       ///< kFinished: the job's structured error.
+  /// kFinished: the job's structured status (deadline/budget/admission
+  /// outcomes included — `cancelled`/`error` above only mirror two of
+  /// the six statuses).
+  ResultStatus status = ResultStatus::kOk;
 };
 
 /// Called from worker threads (kQueued: from the submitting thread).
@@ -119,6 +124,10 @@ class JobHandle {
   /// Blocks until the result is ready.
   void wait() const;
 
+  /// Blocks up to `timeout` for the result. Returns true when the
+  /// result became ready in time (false for empty handles too).
+  bool wait_for(std::chrono::milliseconds timeout) const;
+
   /// Requests cancellation: a queued job finishes immediately with
   /// `cancelled` set; a running job stops after its current item and
   /// returns the partial result (the facade's cancellation semantics).
@@ -141,12 +150,29 @@ class JobHandle {
 // Executor
 // ---------------------------------------------------------------------------
 
+/// What `submit` does when a bounded task queue is full.
+enum class AdmissionPolicy {
+  /// Block the submitting thread until the queue has room — natural
+  /// backpressure for producer loops. The default.
+  kBlock,
+  /// Refuse the job immediately: it finishes with
+  /// `ResultStatus::kAdmissionRejected`, never reaches a worker, and
+  /// its event stream is a single kFinished.
+  kReject,
+};
+
 struct ExecutorOptions {
   /// Worker threads; 0 means one per hardware thread.
   std::size_t workers = 1;
   /// Executor-wide event tap, called in addition to each job's own
   /// `JobHooks::on_event`.
   JobEventFn on_event;
+  /// Bounded admission: when nonzero, `submit` refuses to grow the task
+  /// queue past this many queued tasks (replicated shards count
+  /// individually). 0 = unbounded, the pre-governance behavior.
+  std::size_t max_queue_depth = 0;
+  /// Full-queue policy; only consulted when `max_queue_depth != 0`.
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
 };
 
 /// The worker pool. Destruction drains: it waits for every submitted
@@ -168,6 +194,13 @@ class Executor {
   /// estimator threads); replicated sharding enqueues its shards,
   /// clamped to the worker count. Never throws for request defects —
   /// they come back as `SuiteResult::error` on the handle.
+  ///
+  /// Governance: a request's `deadline_ms` clock starts here, at
+  /// submission — time spent waiting in the queue counts against the
+  /// deadline, as a server's would. With a bounded queue
+  /// (`ExecutorOptions::max_queue_depth`) a full queue either blocks
+  /// this call (kBlock) or finishes the job immediately with
+  /// `ResultStatus::kAdmissionRejected` (kReject).
   JobHandle submit(CoverageRequest request, JobHooks hooks = {});
 
   /// Convenience barrier: submits every request, waits, and returns the

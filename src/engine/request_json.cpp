@@ -146,6 +146,15 @@ std::string to_json(const CoverageRequest& request,
   w.field_string("table_mode",
                  request.table_mode == bdd::TableMode::kStriped ? "striped"
                                                                 : "lockfree");
+  // Governance limits are omitted when unset, so pre-governance
+  // documents (and their goldens) stay byte-identical.
+  if (request.deadline_ms != 0) {
+    w.field_count("deadline_ms",
+                  static_cast<std::size_t>(request.deadline_ms));
+  }
+  if (request.max_live_nodes != 0) {
+    w.field_count("max_live_nodes", request.max_live_nodes);
+  }
   return w.finish();
 }
 
@@ -309,6 +318,14 @@ CoverageRequest request_from_json(const std::string& text) {
         request.shard_mode = ShardMode::kReplicated;
       } else {
         schema_fail("'shard_mode' must be 'shared_manager' or 'replicated'");
+      }
+    } else if (key == "deadline_ms") {
+      request.deadline_ms = as_count(value, "deadline_ms");
+      if (request.deadline_ms == 0) schema_fail("'deadline_ms' must be >= 1");
+    } else if (key == "max_live_nodes") {
+      request.max_live_nodes = as_count(value, "max_live_nodes");
+      if (request.max_live_nodes == 0) {
+        schema_fail("'max_live_nodes' must be >= 1");
       }
     } else if (key == "table_mode") {
       const std::string& mode = as_string(value, "table_mode");

@@ -20,8 +20,12 @@
 //     "want_traces": false,
 //     "shards": 1,
 //     "shard_mode": "shared_manager",   // or "replicated"
-//     "table_mode": "lockfree"          // or "striped" (shared-manager
-//   }                                   //     synchronization choice)
+//     "table_mode": "lockfree",         // or "striped" (shared-manager
+//                                       //     synchronization choice)
+//     "deadline_ms": 500,               // wall-clock budget (>= 1);
+//                                       //     omitted when unlimited
+//     "max_live_nodes": 100000          // BDD node budget (>= 1);
+//   }                                   //     omitted when unlimited
 //
 // The writer emits the canonical form: fixed field order, every policy
 // field present, empty model sources omitted. Parsing a canonical

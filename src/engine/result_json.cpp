@@ -135,6 +135,10 @@ void write_phase(JsonWriter& w, const PhaseStats& phase) {
   w.number(phase.cache_hit_rate);
   w.key("passes");
   w.number(static_cast<std::uint64_t>(phase.passes));
+  if (phase.node_budget != 0) {  // Only budgeted runs carry one.
+    w.key("node_budget");
+    w.number(static_cast<std::uint64_t>(phase.node_budget));
+  }
   w.end_object();
 }
 
@@ -168,6 +172,14 @@ std::string to_json(const SuiteResult& r, const JsonOptions& options) {
   w.boolean(r.all_passed());
   w.key("cancelled");
   w.boolean(r.cancelled);
+  if (r.status != ResultStatus::kOk) {  // Successful runs stay byte-stable.
+    w.key("status");
+    w.string(to_string(r.status));
+    if (!r.status_detail.empty()) {
+      w.key("status_detail");
+      w.string(r.status_detail);
+    }
+  }
   if (!r.error.empty()) {  // Only batch/executor failures carry one.
     w.key("error");
     w.string(r.error);

@@ -5,13 +5,17 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/governance.h"
+
 namespace covest::fsm {
 
 using bdd::Bdd;
 using bdd::Var;
 
-SymbolicFsm::SymbolicFsm(const model::Model& model)
+SymbolicFsm::SymbolicFsm(const model::Model& model,
+                         std::size_t max_live_nodes)
     : model_(model), mgr_(std::make_unique<bdd::BddManager>()) {
+  mgr_->set_max_live_nodes(max_live_nodes);
   model_.validate();
   allocate_variables();
   build_transition();
@@ -203,6 +207,7 @@ Bdd SymbolicFsm::reachable(const Bdd& from) const {
   Bdd reached = from;
   Bdd frontier = from;
   while (!frontier.is_false()) {
+    covest::governor_tick();
     const Bdd image = forward(frontier);
     frontier = image - reached;
     reached |= frontier;
@@ -216,6 +221,7 @@ std::vector<Bdd> SymbolicFsm::forward_rings(const Bdd& from,
   Bdd reached = from;
   if (target != nullptr && from.intersects(*target)) return rings;
   while (true) {
+    covest::governor_tick();
     const Bdd frontier = forward(rings.back()) - reached;
     if (frontier.is_false()) break;
     rings.push_back(frontier);

@@ -45,7 +45,12 @@ struct SignalLayout {
 class SymbolicFsm {
  public:
   /// Elaborates a validated model. The FSM owns its BDD manager.
-  explicit SymbolicFsm(const model::Model& model);
+  /// `max_live_nodes` (0 = unlimited) becomes the manager's node budget
+  /// before elaboration starts, so a pathological model cannot OOM even
+  /// while building its transition relation — exhaustion throws
+  /// covest::ResourceExhausted out of the constructor.
+  explicit SymbolicFsm(const model::Model& model,
+                       std::size_t max_live_nodes = 0);
 
   SymbolicFsm(const SymbolicFsm&) = delete;
   SymbolicFsm& operator=(const SymbolicFsm&) = delete;

@@ -179,6 +179,60 @@ TEST(CovestBatchCliTest, UsageErrorsExitTwo) {
   EXPECT_EQ(run_batch("--bogus-flag /dev/null").exit_code, 2);
   EXPECT_EQ(run_batch("/nonexistent/manifest.txt").exit_code, 2);
   EXPECT_EQ(run_batch("a.txt b.txt").exit_code, 2);
+  // Governance flags demand positive integers: 0 is spelled by omission.
+  EXPECT_EQ(run_batch("--deadline-ms 0 /dev/null").exit_code, 2);
+  EXPECT_EQ(run_batch("--deadline-ms soon /dev/null").exit_code, 2);
+  EXPECT_EQ(run_batch("--max-nodes nope /dev/null").exit_code, 2);
+  EXPECT_EQ(run_batch("--max-nodes 0 /dev/null").exit_code, 2);
+  EXPECT_EQ(run_batch("--max-queue 0 /dev/null").exit_code, 2);
+}
+
+TEST(CovestBatchCliTest, ResourceLimitedJobsExitThreeWithStatusLines) {
+  // A starved node budget must not abort the batch: the limited job
+  // gets a structured status line, the healthy job still completes, and
+  // the whole batch exits 3 (resource-limited trumps 1/0).
+  const std::string requests =
+      "{\"model_path\": \"" + model_path("traffic.cov") +
+      "\", \"max_live_nodes\": 8}\n" +
+      "{\"model_path\": \"" + model_path("counter.cov") + "\"}\n";
+  const RunOutcome r = run_shell(
+      "printf '%s' '" + requests + "' | " + COVEST_BATCH_TOOL_PATH +
+      " 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  const std::vector<std::string> lines = split_lines(r.output);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"status\":\"resource_exhausted\""),
+            std::string::npos)
+      << lines[0];
+  EXPECT_EQ(lines[0].find("\"error\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[1].find("\"name\":\"counter\""), std::string::npos);
+  for (const std::string& line : lines) {
+    std::string err;
+    EXPECT_TRUE(engine::validate_json(line + "\n", &err)) << err;
+  }
+}
+
+TEST(CovestBatchCliTest, MaxNodesFlagCapsEveryJobInTheBatch) {
+  const std::string manifest = write_manifest({model_path("traffic.cov")});
+  const RunOutcome r = run_batch("--max-nodes 8 " + manifest);
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("\"status\":\"resource_exhausted\""),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CovestBatchCliTest, GenerousLimitsAreByteIdenticalToNoLimits) {
+  // The zero-cost contract at the CLI face: a batch run under limits it
+  // never hits emits exactly the bytes of an unlimited run.
+  const std::string manifest = write_manifest(
+      {model_path("counter.cov"), model_path("arbiter.cov")});
+  const RunOutcome unlimited = run_batch("--jobs 2 " + manifest);
+  const RunOutcome governed = run_batch(
+      "--jobs 2 --deadline-ms 3600000 --max-nodes 100000000 --max-queue 64 " +
+      manifest);
+  EXPECT_EQ(unlimited.exit_code, 0);
+  EXPECT_EQ(governed.exit_code, 0);
+  EXPECT_EQ(unlimited.output, governed.output);
 }
 
 TEST(CovestBatchCliTest, EmptyStdinIsAnEmptySuccessfulBatch) {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -15,6 +17,7 @@
 #include "engine/executor.h"
 #include "engine/result_json.h"
 #include "model/model_parser.h"
+#include "util/governance.h"
 
 namespace covest {
 namespace {
@@ -405,6 +408,262 @@ TEST(ThreadAffinityTest, TakeRebindsManagersToTheConsumer) {
   // Node construction on the consuming thread is now legal.
   const bdd::Bdd sum = covered | !covered;
   EXPECT_TRUE(sum.is_true());
+}
+
+// --------------------------------------------------------------------------
+// Resource governance: deadlines, admission control, bounded waits
+// --------------------------------------------------------------------------
+
+/// The phase a limited result stopped in, from its status_detail prefix
+/// ("verify: ..." -> "verify").
+std::string stage_of(const SuiteResult& r) {
+  const std::size_t colon = r.status_detail.find(':');
+  return colon == std::string::npos ? r.status_detail
+                                    : r.status_detail.substr(0, colon);
+}
+
+/// Asserts that `partial` is a governed prefix of `base`: completed
+/// properties match the baseline's in order, and every signal row is an
+/// in-order subsequence of the baseline rows, byte-equal field by field
+/// (the chunk-prefix determinism contract for partial results).
+void expect_governed_prefix(const SuiteResult& partial,
+                            const SuiteResult& base) {
+  ASSERT_LE(partial.properties.size(), base.properties.size());
+  for (std::size_t i = 0; i < partial.properties.size(); ++i) {
+    EXPECT_EQ(partial.properties[i].ctl_text, base.properties[i].ctl_text);
+    EXPECT_EQ(partial.properties[i].holds, base.properties[i].holds);
+  }
+  std::size_t cursor = 0;
+  for (const engine::SignalRow& row : partial.signals) {
+    while (cursor < base.signals.size() &&
+           base.signals[cursor].name != row.name) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, base.signals.size())
+        << "row '" << row.name << "' is not a baseline row in order";
+    EXPECT_EQ(row.num_properties, base.signals[cursor].num_properties);
+    EXPECT_DOUBLE_EQ(row.covered_count, base.signals[cursor].covered_count);
+    EXPECT_DOUBLE_EQ(row.percent, base.signals[cursor].percent);
+    EXPECT_EQ(row.uncovered, base.signals[cursor].uncovered);
+    ++cursor;
+  }
+}
+
+TEST(ExecutorGovernanceTest, DeadlineExpiryCoversEveryPhaseBoundary) {
+  // Serial runs tick deterministically, so driving the kDeadline
+  // injection site tick by tick walks the expiry through parse,
+  // elaborate, verify and estimate; every partial result must be a
+  // clean prefix and the next uninjected run must be byte-identical.
+  struct Disarm {
+    ~Disarm() { FaultInjector::disarm(); }
+  } disarm;
+  const CoverageRequest req = path_request("arbiter.cov");
+  const SuiteResult base = Engine().run(req);
+  const std::string baseline = canonical(base);
+
+  FaultInjector::arm(FaultInjector::Site::kDeadline, std::uint64_t{1} << 60);
+  ASSERT_EQ(canonical(Engine().run(req)), baseline);  // Armed-idle: no effect.
+  const std::uint64_t total = FaultInjector::trigger_count();
+  FaultInjector::disarm();
+  ASSERT_GT(total, 4u);
+
+  const auto expire_at = [&](std::uint64_t n) {
+    FaultInjector::arm(FaultInjector::Site::kDeadline, n);
+    const SuiteResult r = Engine().run(req);
+    FaultInjector::disarm();
+    EXPECT_EQ(r.status, engine::ResultStatus::kDeadlineExceeded) << n;
+    expect_governed_prefix(r, base);
+    return stage_of(r);
+  };
+
+  EXPECT_EQ(expire_at(1), "parse");
+  EXPECT_EQ(expire_at(2), "elaborate");
+  // The first in-Session tick is the verify loop; the run's very last
+  // tick happens while estimating the final signal row.
+  EXPECT_EQ(expire_at(3), "verify");
+  EXPECT_EQ(expire_at(total), "estimate");
+  EXPECT_EQ(canonical(Engine().run(req)), baseline);
+}
+
+TEST(ExecutorGovernanceTest, ShardedDeadlinePartialsKeepChunkPrefixes) {
+  // Under both table modes, an expiry mid-fan-out must stop every shard
+  // at its next tick and merge only whole rows — each surviving row
+  // byte-equal to its serial twin, in order.
+  struct Disarm {
+    ~Disarm() { FaultInjector::disarm(); }
+  } disarm;
+  for (const bdd::TableMode mode :
+       {bdd::TableMode::kLockFree, bdd::TableMode::kStriped}) {
+    CoverageRequest req = path_request("arbiter.cov");
+    req.shards = 2;
+    req.table_mode = mode;
+    const SuiteResult base = Engine().run(req);
+    const std::string baseline = canonical(base);
+
+    for (const std::uint64_t n : {1ull, 2ull, 4ull, 8ull, 16ull, 64ull}) {
+      FaultInjector::arm(FaultInjector::Site::kDeadline, n);
+      Executor ex{ExecutorOptions{2, nullptr}};
+      const SuiteResult r = ex.submit(req).take();
+      FaultInjector::disarm();
+      if (r.status == engine::ResultStatus::kOk) {
+        // Tick n never fired (shared-cache warm paths tick less often);
+        // then the run must be untouched.
+        EXPECT_EQ(canonical(r), baseline) << "mode " << static_cast<int>(mode);
+      } else {
+        ASSERT_EQ(r.status, engine::ResultStatus::kDeadlineExceeded) << n;
+        EXPECT_TRUE(r.error.empty()) << r.error;
+        EXPECT_FALSE(r.cancelled);  // Expiry is not a user cancel.
+        expect_governed_prefix(r, base);
+      }
+      // Recovery including a full sharded pass on a fresh manager.
+      Executor again{ExecutorOptions{2, nullptr}};
+      EXPECT_EQ(canonical(again.submit(req).take()), baseline)
+          << "mode " << static_cast<int>(mode) << " after tick " << n;
+    }
+  }
+}
+
+TEST(ExecutorGovernanceTest, GenerousDeadlineThroughExecutorChangesNothing) {
+  CoverageRequest req = path_request("handshake.cov");
+  const std::string baseline = canonical(Engine().run(req));
+  req.deadline_ms = 3'600'000;
+  req.shards = 2;
+  Executor ex{ExecutorOptions{2, nullptr}};
+  const SuiteResult r = ex.submit(req).take();
+  EXPECT_EQ(r.status, engine::ResultStatus::kOk);
+  EXPECT_EQ(canonical(r), baseline);
+}
+
+TEST(ExecutorAdmissionTest, RejectPolicyBoundsTheQueueDeterministically) {
+  ExecutorOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 1;
+  options.admission = engine::AdmissionPolicy::kReject;
+  Executor ex(std::move(options));
+
+  // Gate job A on the worker so B (queued) fills the bound and C must
+  // be turned away at the door.
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> release{false};
+  JobHooks gate;
+  gate.on_progress = [&](const Progress&) {
+    a_started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    return true;
+  };
+  JobHandle a = ex.submit(path_request("counter.cov"), gate);
+  while (!a_started.load()) std::this_thread::yield();
+  JobHandle b = ex.submit(path_request("counter.cov"));
+  JobHandle c = ex.submit(path_request("counter.cov"));
+
+  // The rejection is synchronous: no worker ever sees the job.
+  EXPECT_TRUE(c.done());
+  const SuiteResult rc = c.take();
+  EXPECT_EQ(rc.status, engine::ResultStatus::kAdmissionRejected);
+  EXPECT_TRUE(rc.error.empty()) << rc.error;
+  EXPECT_TRUE(rc.signals.empty());
+  EXPECT_NE(rc.status_detail.find("max_queue_depth=1"), std::string::npos)
+      << rc.status_detail;
+
+  release.store(true);
+  EXPECT_EQ(a.take().status, engine::ResultStatus::kOk);
+  EXPECT_EQ(b.take().status, engine::ResultStatus::kOk);
+  // With the queue drained, admission is open again.
+  EXPECT_EQ(ex.submit(path_request("counter.cov")).take().status,
+            engine::ResultStatus::kOk);
+}
+
+TEST(ExecutorAdmissionTest, RejectedJobEmitsASingleFinishedEvent) {
+  std::mutex mu;
+  std::vector<JobEvent> events;
+  ExecutorOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 1;
+  options.admission = engine::AdmissionPolicy::kReject;
+  options.on_event = [&](const JobEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back(e);
+  };
+  Executor ex(std::move(options));
+
+  std::atomic<bool> release{false};
+  JobHooks gate;
+  gate.on_progress = [&](const Progress&) {
+    while (!release.load()) std::this_thread::yield();
+    return true;
+  };
+  JobHandle a = ex.submit(path_request("counter.cov"), gate);
+  JobHandle b = ex.submit(path_request("counter.cov"));
+  JobHandle c = ex.submit(path_request("counter.cov"));
+  const std::uint64_t rejected_job = c.id();
+  ASSERT_TRUE(c.done());
+  release.store(true);
+  a.wait();
+  b.wait();
+
+  std::lock_guard<std::mutex> lock(mu);
+  std::size_t rejected_events = 0;
+  for (const JobEvent& e : events) {
+    if (e.job != rejected_job) continue;
+    ++rejected_events;
+    EXPECT_EQ(e.kind, JobEvent::Kind::kFinished);
+    EXPECT_EQ(e.status, engine::ResultStatus::kAdmissionRejected);
+  }
+  EXPECT_EQ(rejected_events, 1u);
+}
+
+TEST(ExecutorAdmissionTest, BlockPolicyAppliesBackpressure) {
+  ExecutorOptions options;
+  options.workers = 1;
+  options.max_queue_depth = 1;
+  options.admission = engine::AdmissionPolicy::kBlock;
+  Executor ex(std::move(options));
+
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> release{false};
+  JobHooks gate;
+  gate.on_progress = [&](const Progress&) {
+    a_started.store(true);
+    while (!release.load()) std::this_thread::yield();
+    return true;
+  };
+  JobHandle a = ex.submit(path_request("counter.cov"), gate);
+  while (!a_started.load()) std::this_thread::yield();
+  JobHandle b = ex.submit(path_request("counter.cov"));  // Fills the queue.
+
+  // C's submit must block until the worker frees a slot: the submitting
+  // thread can only set `c_admitted` after the gate is released.
+  std::atomic<bool> c_admitted{false};
+  std::thread submitter([&] {
+    JobHandle c = ex.submit(path_request("counter.cov"));
+    c_admitted.store(true);
+    EXPECT_EQ(c.take().status, engine::ResultStatus::kOk);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(c_admitted.load());
+
+  release.store(true);
+  submitter.join();
+  EXPECT_TRUE(c_admitted.load());
+  EXPECT_EQ(a.take().status, engine::ResultStatus::kOk);
+  EXPECT_EQ(b.take().status, engine::ResultStatus::kOk);
+}
+
+TEST(ExecutorGovernanceTest, WaitForTimesOutThenDelivers) {
+  Executor ex{ExecutorOptions{1, nullptr}};
+  std::atomic<bool> release{false};
+  JobHooks gate;
+  gate.on_progress = [&](const Progress&) {
+    while (!release.load()) std::this_thread::yield();
+    return true;
+  };
+  JobHandle h = ex.submit(path_request("counter.cov"), gate);
+  EXPECT_FALSE(h.wait_for(std::chrono::milliseconds(10)));
+  EXPECT_FALSE(h.done());
+  release.store(true);
+  EXPECT_TRUE(h.wait_for(std::chrono::milliseconds(10000)));
+  EXPECT_TRUE(h.done());
+  EXPECT_EQ(h.take().status, engine::ResultStatus::kOk);
 }
 
 #if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)

@@ -82,7 +82,22 @@ w('bad_request/uncovered_saturated.json', '{"uncovered_limit": 1e999}')
 w('bad_request/shards_zero.json', '{"shards": 0}')
 w('bad_request/shard_mode_unknown.json', '{"shard_mode": "both"}')
 w('bad_request/shard_mode_wrong_type.json', '{"shard_mode": 2}')
+w('bad_request/table_mode_unknown.json',
+  '{"model_path": "m.cov", "table_mode": "spinlock"}')
+w('bad_request/table_mode_wrong_type.json',
+  '{"model_path": "m.cov", "table_mode": 2}')
 w('bad_request/unknown_top_level_key.json', '{"modle_path": "m.cov"}')
+# Resource-governance counts: both must be >= 1 integers when present
+# (0 is spelled by omission), and the shared count grammar already
+# rejects negatives, fractions, booleans and magnitudes past 1e15.
+w('bad_request/deadline_zero.json', '{"deadline_ms": 0}')
+w('bad_request/deadline_negative.json', '{"deadline_ms": -5}')
+w('bad_request/deadline_fractional.json', '{"deadline_ms": 1.5}')
+w('bad_request/deadline_overflow.json', '{"deadline_ms": 1e16}')
+w('bad_request/deadline_wrong_type.json', '{"deadline_ms": "soon"}')
+w('bad_request/max_nodes_zero.json', '{"max_live_nodes": 0}')
+w('bad_request/max_nodes_fractional.json', '{"max_live_nodes": 2.5}')
+w('bad_request/max_nodes_wrong_type.json', '{"max_live_nodes": true}')
 # Duplicate keys (grammar-valid; the schema rejects two-jobs-at-once),
 # including duplicates buried in nested objects.
 w('bad_request/duplicate_top_level.json',
@@ -120,6 +135,10 @@ w('good_request/full_sharded.json',
   '"shards": 4, "shard_mode": "replicated"}')
 w('good_request/shard_mode_shared.json',
   '{"model_path": "m.cov", "shards": 2, "shard_mode": "shared_manager"}')
+w('good_request/table_mode_striped.json',
+  '{"model_path": "m.cov", "shards": 2, "table_mode": "striped"}')
+w('good_request/deadline_and_budget.json',
+  '{"model_path": "m.cov", "deadline_ms": 500, "max_live_nodes": 100000}')
 
 for d in ('bad_json', 'bad_request', 'good_json', 'good_request'):
     print(d, len(os.listdir(os.path.join(base, d))))

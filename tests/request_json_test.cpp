@@ -41,6 +41,8 @@ CoverageRequest sample_request() {
   req.want_traces = true;
   req.shards = 3;
   req.table_mode = bdd::TableMode::kStriped;  // Non-default round-trips.
+  req.deadline_ms = 1500;
+  req.max_live_nodes = 250000;
   return req;
 }
 
@@ -62,6 +64,8 @@ void expect_same_request(const CoverageRequest& a, const CoverageRequest& b) {
   EXPECT_EQ(a.shards, b.shards);
   EXPECT_EQ(a.shard_mode, b.shard_mode);
   EXPECT_EQ(a.table_mode, b.table_mode);
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.max_live_nodes, b.max_live_nodes);
 }
 
 TEST(RequestJsonTest, FieldsSurviveTheRoundTrip) {
@@ -120,6 +124,8 @@ TEST(RequestJsonTest, MinimalInputGetsDefaults) {
   EXPECT_EQ(req.shards, 1u);
   EXPECT_EQ(req.shard_mode, engine::ShardMode::kSharedManager);
   EXPECT_EQ(req.table_mode, bdd::TableMode::kLockFree);
+  EXPECT_EQ(req.deadline_ms, 0u);       // Unlimited, spelled by omission.
+  EXPECT_EQ(req.max_live_nodes, 0u);
 }
 
 TEST(RequestJsonTest, InMemoryModelRefusesToSerialize) {
@@ -240,6 +246,25 @@ TEST(FuzzCorpusTest, ShardModeRoundTripsThroughTheCorpusForms) {
       read_file(corpus_files("good_request")[0].parent_path() /
                 "table_mode_striped.json"));
   EXPECT_EQ(striped.table_mode, bdd::TableMode::kStriped);
+}
+
+TEST(FuzzCorpusTest, GovernanceLimitsRoundTripThroughTheCorpusForm) {
+  const CoverageRequest limited = engine::request_from_json(
+      read_file(corpus_files("good_request")[0].parent_path() /
+                "deadline_and_budget.json"));
+  EXPECT_EQ(limited.deadline_ms, 500u);
+  EXPECT_EQ(limited.max_live_nodes, 100000u);
+  // Canonical form keeps both keys (they are non-default)...
+  const std::string json = engine::to_json(limited);
+  EXPECT_NE(json.find("\"deadline_ms\": 500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_live_nodes\": 100000"), std::string::npos)
+      << json;
+  // ...and an unlimited request serializes neither, so pre-governance
+  // goldens stay byte-identical.
+  const std::string unlimited =
+      engine::to_json(engine::request_from_json(R"({"model_path": "m.cov"})"));
+  EXPECT_EQ(unlimited.find("deadline_ms"), std::string::npos) << unlimited;
+  EXPECT_EQ(unlimited.find("max_live_nodes"), std::string::npos) << unlimited;
 }
 
 TEST(RequestJsonTest, HostileNestingDepthIsRejectedNotACrash) {
