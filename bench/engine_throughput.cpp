@@ -26,6 +26,11 @@
 // is visible even on hardware where wall-clock parallelism is not —
 // the emitted note flags single-core containers, where jobs=4 can read
 // *slower* than jobs=2 on pure scheduling overhead.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "engine/executor.h"
+#include "server/covest_server.h"
 #include "util/cli.h"
 
 namespace {
@@ -68,6 +74,9 @@ std::vector<std::string> benchmark_names(const Config& config) {
   names.push_back("sharded_suite/mode:shared_manager/table:lockfree" + suffix);
   names.push_back("sharded_suite/mode:shared_manager/table:striped" + suffix);
   names.push_back("sharded_suite/mode:replicated" + suffix);
+  const std::string jobs_suffix = "/jobs:" + std::to_string(shard_workers);
+  names.push_back("server_loopback/cache:off" + jobs_suffix);
+  names.push_back("server_loopback/cache:on" + jobs_suffix);
   return names;
 }
 
@@ -138,6 +147,82 @@ Measurement measure(const Config& config, std::size_t workers,
   m.suites_per_sec =
       wall_ms > 0.0 ? static_cast<double>(results.size()) * 1000.0 / wall_ms
                     : 0.0;
+  return m;
+}
+
+/// The server-loopback configuration: a `CovestServer` on 127.0.0.1
+/// served from a background thread, one client streaming the whole
+/// request batch over TCP and reading the result lines back. Measures
+/// what a fleet client actually sees — framing, socket hops and the
+/// warm model cache included (cache:on re-serves parked sessions after
+/// the first round; cache:off re-elaborates every suite).
+Measurement measure_server(const Config& config, std::size_t workers,
+                           bool cache, std::string name) {
+  server::ServerOptions options;
+  options.jobs = workers;
+  options.cache_sessions = cache ? 8 : 0;
+  server::CovestServer covest_server(options);
+  std::string error;
+  if (!covest_server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    std::exit(1);
+  }
+  std::thread serving([&covest_server] { covest_server.serve(); });
+
+  std::string batch;
+  for (std::size_t r = 0; r < config.repeat; ++r) {
+    for (const std::string& path : config.models) {
+      batch += "{\"model_path\": \"" + path + "\", \"uncovered_limit\": 0}\n";
+    }
+  }
+  const std::size_t expected = config.repeat * config.models.size();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(covest_server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: loopback connect failed\n");
+    std::exit(1);
+  }
+
+  const auto t0 = Clock::now();
+  for (std::size_t sent = 0; sent < batch.size();) {
+    const ::ssize_t n = ::send(fd, batch.data() + sent, batch.size() - sent,
+                               MSG_NOSIGNAL);
+    if (n <= 0) {
+      std::fprintf(stderr, "error: loopback send failed\n");
+      std::exit(1);
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::size_t lines = 0;
+  char chunk[65536];
+  for (::ssize_t n; (n = ::recv(fd, chunk, sizeof chunk, 0)) > 0;) {
+    lines += static_cast<std::size_t>(
+        std::count(chunk, chunk + n, '\n'));
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  ::close(fd);
+  covest_server.request_shutdown();
+  serving.join();
+  if (lines != expected || covest_server.exit_code() != 0) {
+    std::fprintf(stderr, "error: loopback run came back short (%zu/%zu, exit %d)\n",
+                 lines, expected, covest_server.exit_code());
+    std::exit(1);
+  }
+
+  Measurement m;
+  m.name = std::move(name);
+  m.jobs = workers;
+  m.suites = lines;
+  m.wall_ms = wall_ms;
+  m.suites_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(lines) * 1000.0 / wall_ms : 0.0;
   return m;
 }
 
@@ -252,6 +337,23 @@ int main(int argc, char** argv) {
   std::printf("lockfree vs striped at shards=%zu: %.2fx\n", config.shards,
               table_speedup);
 
+  // Server loopback: the covest_serve wire path end to end. The cache:on
+  // column is the warm-cache story — after round one every suite leases
+  // a parked session instead of re-parsing/elaborating/verifying.
+  Measurement loop_cold =
+      measure_server(config, shard_workers, false, names[name_index++]);
+  Measurement loop_warm =
+      measure_server(config, shard_workers, true, names[name_index++]);
+  for (const Measurement* m : {&loop_cold, &loop_warm}) {
+    std::printf("%s: %.1f suites/sec\n", m->name.c_str(), m->suites_per_sec);
+    measurements.push_back(*m);
+  }
+  const double cache_speedup =
+      loop_cold.suites_per_sec > 0.0
+          ? loop_warm.suites_per_sec / loop_cold.suites_per_sec
+          : 0.0;
+  std::printf("warm cache vs cold over loopback: %.2fx\n", cache_speedup);
+
   if (!config.out_path.empty()) {
     std::FILE* out = std::fopen(config.out_path.c_str(), "w");
     if (out == nullptr) {
@@ -288,8 +390,10 @@ int main(int argc, char** argv) {
     std::fprintf(out, "  \"speedup_max_jobs_vs_1\": %.3f,\n", speedup);
     std::fprintf(out, "  \"shared_vs_replicated_speedup\": %.3f,\n",
                  shard_speedup);
-    std::fprintf(out, "  \"lockfree_vs_striped_speedup\": %.3f\n}\n",
+    std::fprintf(out, "  \"lockfree_vs_striped_speedup\": %.3f,\n",
                  table_speedup);
+    std::fprintf(out, "  \"warm_cache_vs_cold_speedup\": %.3f\n}\n",
+                 cache_speedup);
     std::fclose(out);
     std::printf("wrote %s\n", config.out_path.c_str());
   }

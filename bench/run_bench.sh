@@ -13,10 +13,14 @@
 #                       shard_mode shared_manager (verify once, rows on
 #                       K threads over one shared BddManager; measured
 #                       under both table_mode=lockfree and striped) vs
-#                       replicated (every shard re-verifies). On boxes
-#                       with few hardware threads the wall-clock columns
-#                       mostly measure scheduling overhead — the file
-#                       carries a "note" and the per-entry verify_passes
+#                       replicated (every shard re-verifies), plus the
+#                       server_loopback family: the covest_serve wire
+#                       path end to end (an in-process CovestServer on
+#                       127.0.0.1), cache:off against cache:on — the
+#                       warm-model-cache speedup. On boxes with few
+#                       hardware threads the wall-clock columns mostly
+#                       measure scheduling overhead — the file carries
+#                       a "note" and the per-entry verify_passes
 #                       counters, which show the work saved regardless
 #                       of core count.
 #

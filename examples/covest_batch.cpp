@@ -15,6 +15,10 @@
 // `#`/`--` comment lines are skipped. Without a manifest argument,
 // stdin is read as NDJSON requests — the same schema, one per line.
 //
+// The framing, request parsing and bounded-window dispatch live in
+// engine/ndjson_driver.h, shared with the long-lived server front-end
+// (examples/covest_serve.cpp) so the two binaries speak one contract.
+//
 // Per-job defects (missing model, parse errors, unknown signals) never
 // abort the batch: the failing job's output line carries
 // `summary.error` and the driver exits nonzero once the batch is done.
@@ -24,17 +28,14 @@
 // errored or some property failed, 2 = usage or manifest I/O error,
 // 3 = some job was stopped by a resource limit (deadline exceeded,
 // node budget exhausted, or admission rejected); 3 wins over 1.
-#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <string>
-#include <vector>
 
 #include "engine/executor.h"
-#include "engine/request_json.h"
+#include "engine/ndjson_driver.h"
 #include "engine/result_json.h"
 #include "util/cli.h"
 
@@ -78,86 +79,12 @@ using covest::util::parse_count;
 
 struct BatchOptions {
   std::size_t jobs = 1;
-  std::size_t shards = 0;  ///< 0 = leave each request's own value.
-  std::size_t deadline_ms = 0;  ///< 0 = leave each request's own value.
-  std::size_t max_nodes = 0;    ///< 0 = leave each request's own value.
-  std::size_t max_queue = 0;    ///< 0 = unbounded admission.
-  std::optional<bdd::TableMode> table_mode;  ///< Unset = per-request value.
-  bool want_traces = false;
+  std::size_t max_queue = 0;  ///< 0 = unbounded admission.
+  engine::RequestDefaults defaults;  ///< Flags override request fields.
   bool stats = false;
   bool pretty = false;
   std::string manifest;  ///< Empty = read NDJSON requests from stdin.
 };
-
-/// One parsed input line: a request, or the parse error that replaced it.
-struct BatchJob {
-  engine::CoverageRequest request;
-  std::string input_error;  ///< Non-empty: never submitted.
-};
-
-std::string dirname_of(const std::string& path) {
-  const auto slash = path.find_last_of('/');
-  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
-}
-
-bool is_comment_or_blank(const std::string& line) {
-  std::size_t i = 0;
-  while (i < line.size() &&
-         std::isspace(static_cast<unsigned char>(line[i]))) {
-    ++i;
-  }
-  if (i == line.size()) return true;
-  if (line[i] == '#') return true;
-  return line.compare(i, 2, "--") == 0;
-}
-
-std::string trimmed(const std::string& line) {
-  std::size_t b = 0, e = line.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
-  return line.substr(b, e - b);
-}
-
-/// Parses one input line into a job. `base_dir` resolves relative model
-/// paths in the manifest — bare path lines and JSON `model_path` fields
-/// alike, so the same manifest works from any working directory (empty
-/// for stdin input, which resolves against the caller's cwd).
-BatchJob parse_line(const std::string& raw, const BatchOptions& options,
-                    const std::string& base_dir, bool allow_paths) {
-  BatchJob job;
-  const std::string line = trimmed(raw);
-  const auto resolve = [&base_dir](std::string path) {
-    return (!base_dir.empty() && !path.empty() && path[0] != '/')
-               ? base_dir + path
-               : path;
-  };
-  if (line[0] == '{') {
-    std::string error;
-    if (!engine::parse_request(line, &job.request, &error)) {
-      job.input_error = error;
-    } else {
-      job.request.model_path = resolve(std::move(job.request.model_path));
-    }
-  } else if (allow_paths) {
-    job.request.model_path = resolve(line);
-    job.request.want_traces = options.want_traces;
-  } else {
-    job.input_error = "stdin lines must be JSON requests (start with '{')";
-  }
-  if (job.input_error.empty() && options.shards > 0) {
-    job.request.shards = options.shards;
-  }
-  if (job.input_error.empty() && options.deadline_ms > 0) {
-    job.request.deadline_ms = options.deadline_ms;
-  }
-  if (job.input_error.empty() && options.max_nodes > 0) {
-    job.request.max_live_nodes = options.max_nodes;
-  }
-  if (job.input_error.empty() && options.table_mode) {
-    job.request.table_mode = *options.table_mode;
-  }
-  return job;
-}
 
 }  // namespace
 
@@ -172,23 +99,25 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (std::strcmp(arg, "--shards") == 0) {
-      if (i + 1 >= argc || !parse_count(argv[++i], &options.shards) ||
-          options.shards == 0) {
+      if (i + 1 >= argc || !parse_count(argv[++i], &options.defaults.shards) ||
+          options.defaults.shards == 0) {
         std::fprintf(stderr, "error: --shards needs a positive integer\n\n");
         usage(stderr);
         return 2;
       }
     } else if (std::strcmp(arg, "--deadline-ms") == 0) {
-      if (i + 1 >= argc || !parse_count(argv[++i], &options.deadline_ms) ||
-          options.deadline_ms == 0) {
+      if (i + 1 >= argc ||
+          !parse_count(argv[++i], &options.defaults.deadline_ms) ||
+          options.defaults.deadline_ms == 0) {
         std::fprintf(stderr,
                      "error: --deadline-ms needs a positive integer\n\n");
         usage(stderr);
         return 2;
       }
     } else if (std::strcmp(arg, "--max-nodes") == 0) {
-      if (i + 1 >= argc || !parse_count(argv[++i], &options.max_nodes) ||
-          options.max_nodes == 0) {
+      if (i + 1 >= argc ||
+          !parse_count(argv[++i], &options.defaults.max_nodes) ||
+          options.defaults.max_nodes == 0) {
         std::fprintf(stderr,
                      "error: --max-nodes needs a positive integer\n\n");
         usage(stderr);
@@ -205,9 +134,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--table-mode") == 0) {
       const char* mode = i + 1 < argc ? argv[++i] : "";
       if (std::strcmp(mode, "lockfree") == 0) {
-        options.table_mode = bdd::TableMode::kLockFree;
+        options.defaults.table_mode = bdd::TableMode::kLockFree;
       } else if (std::strcmp(mode, "striped") == 0) {
-        options.table_mode = bdd::TableMode::kStriped;
+        options.defaults.table_mode = bdd::TableMode::kStriped;
       } else {
         std::fprintf(stderr,
                      "error: --table-mode needs 'lockfree' or 'striped'\n\n");
@@ -215,7 +144,7 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (std::strcmp(arg, "--trace") == 0) {
-      options.want_traces = true;
+      options.defaults.want_traces = true;
     } else if (std::strcmp(arg, "--stats") == 0) {
       options.stats = true;
     } else if (std::strcmp(arg, "--pretty") == 0) {
@@ -236,21 +165,45 @@ int main(int argc, char** argv) {
     }
   }
 
-  // -- Collect the jobs -----------------------------------------------------
-  std::vector<BatchJob> batch;
-  const bool from_manifest = !options.manifest.empty();
-  if (from_manifest) {
+  // -- Fan out, emit in input order -----------------------------------------
+  // The dispatcher runs a bounded submission window ahead of the output
+  // cursor: a finished-but-not-yet-printed job still pins its BDD node
+  // pools (the result's covered-set handles need them), so submitting a
+  // huge manifest all at once would make resident memory grow with the
+  // batch instead of with --jobs.
+  // --max-queue bounds the executor queue with blocking backpressure:
+  // the submission window already paces this driver, so the bound is
+  // belt-and-suspenders here, but it exercises the exact admission path
+  // the server front-end relies on.
+  engine::ExecutorOptions executor_options;
+  executor_options.workers = options.jobs;
+  executor_options.max_queue_depth = options.max_queue;
+  executor_options.admission = engine::AdmissionPolicy::kBlock;
+  engine::Executor executor{executor_options};
+
+  engine::JsonOptions json;
+  json.pretty = options.pretty;
+  json.include_stats = options.stats;
+  engine::NdjsonDispatcher dispatch(
+      executor, 2 * executor.worker_count(),
+      [&json](const engine::SuiteResult& result) {
+        std::fputs(engine::to_json(result, json).c_str(), stdout);
+        std::fflush(stdout);
+      });
+
+  if (!options.manifest.empty()) {
     std::ifstream in(options.manifest);
     if (!in.good()) {
       std::fprintf(stderr, "error: cannot read manifest '%s'\n",
                    options.manifest.c_str());
       return 2;
     }
-    const std::string base_dir = dirname_of(options.manifest);
+    const std::string base_dir = engine::ndjson_dirname(options.manifest);
     std::string line;
     while (std::getline(in, line)) {
-      if (is_comment_or_blank(line)) continue;
-      batch.push_back(parse_line(line, options, base_dir, true));
+      if (engine::ndjson_comment_or_blank(line)) continue;
+      dispatch.push(
+          engine::parse_request_line(line, options.defaults, base_dir, true));
     }
   } else {
     // Stdin is a machine contract — one output line per input line, in
@@ -258,62 +211,11 @@ int main(int argc, char** argv) {
     // becomes an error line rather than silently shifting the pairing.
     std::string line;
     while (std::getline(std::cin, line)) {
-      if (trimmed(line).empty()) continue;
-      batch.push_back(parse_line(line, options, "", false));
+      if (engine::ndjson_trimmed(line).empty()) continue;
+      dispatch.push(
+          engine::parse_request_line(line, options.defaults, "", false));
     }
   }
-
-  // -- Fan out, emit in input order -----------------------------------------
-  // Submission runs a bounded window ahead of the output cursor: a
-  // finished-but-not-yet-printed job still pins its BDD node pools (the
-  // result's covered-set handles need them), so submitting a huge
-  // manifest all at once would make resident memory grow with the batch
-  // instead of with --jobs.
-  // --max-queue bounds the executor queue with blocking backpressure:
-  // the submission window below already paces this driver, so the bound
-  // is belt-and-suspenders here, but it exercises the exact admission
-  // path a server front-end would rely on.
-  engine::ExecutorOptions executor_options;
-  executor_options.workers = options.jobs;
-  executor_options.max_queue_depth = options.max_queue;
-  executor_options.admission = engine::AdmissionPolicy::kBlock;
-  engine::Executor executor{executor_options};
-  const std::size_t window = 2 * executor.worker_count();
-  std::vector<engine::JobHandle> handles(batch.size());
-  std::size_t submitted = 0;
-  const auto submit_until = [&](std::size_t bound) {
-    for (; submitted < batch.size() && submitted < bound; ++submitted) {
-      if (batch[submitted].input_error.empty()) {
-        handles[submitted] = executor.submit(batch[submitted].request);
-      }
-    }
-  };
-
-  engine::JsonOptions json;
-  json.pretty = options.pretty;
-  json.include_stats = options.stats;
-  bool any_error = false;
-  bool any_failure = false;
-  bool any_limited = false;
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    submit_until(i + window);
-    engine::SuiteResult result;
-    if (!batch[i].input_error.empty()) {
-      result.error = batch[i].input_error;
-      result.status = engine::ResultStatus::kError;
-    } else {
-      result = handles[i].take();
-    }
-    any_error = any_error || !result.error.empty();
-    any_failure = any_failure || result.failures > 0;
-    any_limited =
-        any_limited ||
-        result.status == engine::ResultStatus::kDeadlineExceeded ||
-        result.status == engine::ResultStatus::kResourceExhausted ||
-        result.status == engine::ResultStatus::kAdmissionRejected;
-    std::fputs(engine::to_json(result, json).c_str(), stdout);
-    std::fflush(stdout);
-  }
-  if (any_limited) return 3;  // Resource limits trump property failures.
-  return (any_error || any_failure) ? 1 : 0;
+  dispatch.drain();
+  return dispatch.exit_code();
 }

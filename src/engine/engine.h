@@ -38,6 +38,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -355,6 +356,20 @@ struct RunHooks {
 /// one BDD manager; repeated `run` calls share memoized satisfaction
 /// sets and fix-point caches (the reuse the paper recommends in
 /// Section 3).
+///
+/// Verified-suite split: beyond the checker's per-formula memo, the
+/// session records the *suite-level* verification artifacts — the
+/// PropertyResult list (counterexample traces included) and the failure
+/// count — keyed by a structural hash of the resolved suite (raw CTL
+/// text, collapsed-formula structural hash, observe lists, comments,
+/// `skip_failing`). A repeat `run` whose suite hashes to a stored
+/// record skips the verify phase entirely: the cached outcomes are
+/// replayed, `SuiteResult::verify.passes` reports 0, no verify
+/// progress ticks fire, and the estimate phase proceeds exactly as on
+/// the cold run — byte-identical results (stats aside), since every
+/// intermediate is a canonical BDD with exact counts. This is the
+/// per-request half of the warm model cache (session_cache.h holds the
+/// cross-request half).
 class Session {
  public:
   /// `max_live_nodes` (0 = unlimited) budgets the session's manager for
@@ -379,7 +394,24 @@ class Session {
   /// `run` returns.
   SuiteResult run(const CoverageRequest& request, const RunHooks& hooks = {});
 
+  /// Distinct verified suites recorded by this session (bounded; see
+  /// `kMaxVerifiedSuites`). Exposed for tests and cache diagnostics.
+  std::size_t verified_suite_count() const { return verified_.size(); }
+
+  /// Cap on recorded verified suites per session: past it the record is
+  /// cleared wholesale (the checker's per-formula memo stays, so a
+  /// re-verify after a clear is still cheap). Suites per model are few
+  /// in practice; this only bounds a pathological client.
+  static constexpr std::size_t kMaxVerifiedSuites = 16;
+
  private:
+  /// The suite-level verification artifacts one cold run records and a
+  /// warm run replays.
+  struct VerifiedSuite {
+    std::vector<PropertyResult> properties;
+    std::size_t failures = 0;
+  };
+
   SignalRow estimate_row(const CoverageRequest& request,
                          const std::string& name,
                          const std::vector<PropertySpec>& specs,
@@ -391,6 +423,8 @@ class Session {
   core::CoverageEstimator estimator_;
   /// |reachable(init)| is suite-invariant; computed on the first run.
   std::optional<double> reachable_count_;
+  /// Suite hash -> artifacts of a completed verify phase.
+  std::unordered_map<std::uint64_t, VerifiedSuite> verified_;
 };
 
 /// The facade: resolves the request's model source and executes the

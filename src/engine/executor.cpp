@@ -9,6 +9,8 @@
 
 #include "core/observed.h"
 #include "ctl/ctl_parser.h"
+#include "engine/session_cache.h"
+#include "model/model_parser.h"
 #include "util/governance.h"
 #include "util/time.h"
 
@@ -23,6 +25,9 @@ struct JobState {
   CoverageRequest request;
   JobHooks hooks;
   JobEventFn executor_event;  ///< Executor-wide tap (may be empty).
+  /// Executor-owned warm model cache; nullptr when disabled. Outlives
+  /// every job (the executor destructor drains before Impl dies).
+  SessionCache* cache = nullptr;
 
   /// Executor tasks for this job: 1 for serial and shared-manager
   /// sharded jobs (the session fans estimation threads out itself),
@@ -106,6 +111,24 @@ void validate_request(const CoverageRequest& request, const model::Model& m,
   }
 }
 
+/// Returns a leased (or leasable, freshly elaborated) session to the
+/// warm cache on every exit path of `run_shard`. Destruction happens on
+/// the worker thread, which owns the manager and is therefore the only
+/// thread allowed to measure `live_node_count` — the occupancy figure
+/// recorded with the parked entry.
+struct LeaseReturn {
+  SessionCache* cache = nullptr;
+  std::uint64_t key = 0;
+  std::shared_ptr<Session>* session = nullptr;
+  ~LeaseReturn() {
+    if (cache == nullptr || session == nullptr || *session == nullptr) {
+      return;
+    }
+    const std::size_t live = (*session)->fsm().mgr().live_node_count();
+    cache->release(key, std::move(*session), live);
+  }
+};
+
 /// The contiguous chunk of `names` owned by `shard` of `shards`
 /// (replicated mode only; the shared-manager path chunks row indices
 /// through the same engine::shard_chunk_range).
@@ -150,11 +173,6 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
   covest::RunGovernor::Scope governor_scope(job.governor.get());
   const char* stage = "parse";
   try {
-    const model::Model m = Engine::load_model(job.request);
-    const std::vector<std::string> names =
-        resolve_signal_names(job.request, m);
-    job.governor->tick();  // Parse-phase deadline boundary.
-
     // Replicated sharding splits the *signals* across independent tasks
     // (each re-verifies on its own manager); the shared-manager path
     // hands the whole row list to one session and lets it fan the rows
@@ -164,6 +182,51 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
     // to the shared-manager fan-out it opted out of.
     const bool replicated =
         job.request.shard_mode == ShardMode::kReplicated;
+
+    // Warm model cache: lease a parked session keyed by the raw source
+    // bytes + elaboration options instead of re-parsing/elaborating.
+    // Replicated jobs bypass it (re-elaboration is that mode's point),
+    // as do in-memory models (no stable bytes to key on).
+    std::shared_ptr<Session> session;
+    std::optional<model::Model> parsed;
+    std::uint64_t cache_key = 0;
+    const bool leasable = job.cache != nullptr && !replicated &&
+                          !job.request.model.has_value();
+    if (leasable) {
+      std::string source;
+      if (!job.request.model_source.empty()) {
+        source = job.request.model_source;
+      } else if (!job.request.model_path.empty()) {
+        source = model::read_model_file(job.request.model_path);
+      } else {
+        throw std::runtime_error(
+            "CoverageRequest: set `model`, `model_source` or `model_path` "
+            "as the model source");
+      }
+      cache_key = SessionCache::key_of(source, job.request.options,
+                                       job.request.max_live_nodes);
+      session = job.cache->acquire(cache_key);
+      if (!session) {
+        // Parse the very bytes that were hashed: a file edited between
+        // read and parse cannot poison the key.
+        parsed = job.request.model_source.empty()
+                     ? model::parse_model_source(source,
+                                                 job.request.model_path)
+                     : model::parse_model(source);
+      }
+    } else {
+      parsed = Engine::load_model(job.request);
+    }
+    const bool cache_hit = session != nullptr;
+    // Whatever exit path runs below, a leasable session goes back to
+    // the cache; only the non-cached path parks it on the job instead.
+    LeaseReturn lease{job.cache, cache_key, leasable ? &session : nullptr};
+
+    const model::Model& m = cache_hit ? session->model() : *parsed;
+    const std::vector<std::string> names =
+        resolve_signal_names(job.request, m);
+    job.governor->tick();  // Parse-phase deadline boundary.
+
     CoverageRequest shard_request = job.request;
     if (replicated) {
       shard_request.signals = job.shard_count > 1
@@ -185,8 +248,10 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
     if (shard == 0) validate_request(job.request, m, names);
 
     stage = "elaborate";
-    auto session = std::make_shared<Session>(m, job.request.options,
-                                             job.request.max_live_nodes);
+    if (!session) {
+      session = std::make_shared<Session>(m, job.request.options,
+                                          job.request.max_live_nodes);
+    }
     const double elaborate_ms = ms_since(t0);
     job.governor->tick();  // Elaborate-phase deadline boundary.
 
@@ -275,10 +340,23 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
 
     result = session->run(shard_request, session_hooks);
     result.elaborate.ms = elaborate_ms;
+    // Parse + elaborate never ran on a hit — the warm half of the
+    // contract `covest_serve_test` asserts (`verify.passes == 0` is the
+    // session's verified-suite half).
+    if (cache_hit) result.elaborate.passes = 0;
     result.total_ms = ms_since(t0);
 
-    std::lock_guard<std::mutex> lock(job.mu);
-    job.sessions.push_back(std::move(session));
+    if (leasable) {
+      // Parked sessions are re-leased by arbitrary workers: no live
+      // handle may escape this result to a consumer thread, where its
+      // destruction would race the next lease. Rows stay exact — only
+      // the composable `covered` handle is dropped (the cache-enabled
+      // contract documented on ExecutorOptions::session_cache).
+      for (SignalRow& row : result.signals) row.covered = bdd::Bdd();
+    } else {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.sessions.push_back(std::move(session));
+    }
   } catch (const covest::DeadlineExceeded& e) {
     // Expired before Session::run could convert it (parse/elaborate
     // boundaries above; inside the run the session returns the status
@@ -441,12 +519,16 @@ struct Executor::Impl {
   std::vector<std::weak_ptr<JobState>> jobs;
   std::size_t next_prune = 64;
   JobEventFn on_event;
+  /// Warm model cache; nullptr when disabled. Held here so it outlives
+  /// every job (the destructor drains workers before Impl dies).
+  std::shared_ptr<SessionCache> session_cache;
 };
 
 Executor::Executor(ExecutorOptions options) : impl_(new Impl) {
   impl_->on_event = std::move(options.on_event);
   impl_->max_queue_depth = options.max_queue_depth;
   impl_->admission = options.admission;
+  impl_->session_cache = std::move(options.session_cache);
   std::size_t n = options.workers;
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -456,6 +538,13 @@ Executor::Executor(ExecutorOptions options) : impl_(new Impl) {
     threads_.emplace_back([this] { worker_loop(); });
   }
 }
+
+Executor::Executor(std::size_t workers)
+    : Executor([workers] {
+        ExecutorOptions options;
+        options.workers = workers;
+        return options;
+      }()) {}
 
 Executor::~Executor() {
   {
@@ -516,6 +605,7 @@ JobHandle Executor::submit(CoverageRequest request, JobHooks hooks) {
   state->request = std::move(request);
   state->hooks = std::move(hooks);
   state->executor_event = impl_->on_event;
+  state->cache = impl_->session_cache.get();
   // A shared-manager sharded job is ONE task: the session spawns its own
   // estimator threads after verifying once (`effective_shards` bounds
   // them by the row count, so an absurd request cannot spawn unbounded
@@ -599,6 +689,11 @@ JobHandle Executor::submit(CoverageRequest request, JobHooks hooks) {
   }
   impl_->cv.notify_all();
   return JobHandle(state);
+}
+
+std::size_t Executor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->queue.size();
 }
 
 std::vector<SuiteResult> Executor::run_all(

@@ -57,6 +57,8 @@
 
 namespace covest::engine {
 
+class SessionCache;
+
 namespace detail {
 struct JobState;
 }  // namespace detail
@@ -173,6 +175,17 @@ struct ExecutorOptions {
   std::size_t max_queue_depth = 0;
   /// Full-queue policy; only consulted when `max_queue_depth != 0`.
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  /// Warm model cache (session_cache.h), shared across jobs: a
+  /// non-replicated job whose model comes as text (`model_source` or
+  /// `model_path`) leases a parked session keyed by the source bytes +
+  /// elaboration options instead of re-parsing/elaborating — and, when
+  /// the suite matches the session's verified-suite record, skips
+  /// verification too. Leased jobs return *detached* results: the live
+  /// `covered` BDD handles are stripped before the session is parked
+  /// (they would otherwise race the next lease), so library callers
+  /// that compose with covered sets should not enable the cache.
+  /// nullptr (the default) preserves the session-per-job behavior.
+  std::shared_ptr<SessionCache> session_cache;
 };
 
 /// The worker pool. Destruction drains: it waits for every submitted
@@ -180,14 +193,17 @@ struct ExecutorOptions {
 class Executor {
  public:
   explicit Executor(ExecutorOptions options = {});
-  explicit Executor(std::size_t workers)
-      : Executor(ExecutorOptions{workers, nullptr}) {}
+  explicit Executor(std::size_t workers);
   ~Executor();
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
   std::size_t worker_count() const { return threads_.size(); }
+
+  /// Tasks currently queued (not yet picked up by a worker) — the
+  /// server's queue-depth metric. A racy snapshot by nature.
+  std::size_t queue_depth() const;
 
   /// Enqueues one suite job. A sharded request under the default
   /// shared-manager mode stays one task (its session spawns the

@@ -171,18 +171,26 @@ Model parse_model(const std::string& source) {
   return model;
 }
 
-Model parse_model_file(const std::string& path) {
+std::string read_model_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot open model file '" + path + "'");
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+Model parse_model_source(const std::string& source, const std::string& path) {
   try {
-    return parse_model(buffer.str());
+    return parse_model(source);
   } catch (const std::exception& e) {
     throw std::runtime_error(path + ": " + e.what());
   }
+}
+
+Model parse_model_file(const std::string& path) {
+  return parse_model_source(read_model_file(path), path);
 }
 
 }  // namespace covest::model

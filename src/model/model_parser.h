@@ -29,7 +29,20 @@ namespace covest::model {
 /// been `validate()`d.
 Model parse_model(const std::string& source);
 
-/// Reads and parses a model file.
+/// Reads a model file into a string; throws `std::runtime_error`
+/// ("cannot open model file '<path>'") when it cannot be opened. Split
+/// out of `parse_model_file` so callers that key caches on the raw
+/// source bytes (the engine's warm model cache) read the file exactly
+/// once and parse the very text they hashed.
+std::string read_model_file(const std::string& path);
+
+/// Parses source that was read from `path`: identical to `parse_model`
+/// except that errors are prefixed with the path, byte-for-byte the
+/// messages `parse_model_file` reports.
+Model parse_model_source(const std::string& source, const std::string& path);
+
+/// Reads and parses a model file
+/// (`parse_model_source(read_model_file(path), path)`).
 Model parse_model_file(const std::string& path);
 
 }  // namespace covest::model

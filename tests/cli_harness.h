@@ -1,15 +1,26 @@
 // Shared popen/CLI helpers for the integration tests that drive the
-// real binaries (engine_cli_test, covest_batch_cli_test): run a shell
-// command and capture exit code + output, resolve example-model paths,
-// write manifests into the test temp dir, split captured NDJSON into
-// lines. Header-only; include from tests/ only.
+// real binaries (engine_cli_test, covest_batch_cli_test,
+// covest_serve_test): run a shell command and capture exit code +
+// output, resolve example-model paths, write manifests into the test
+// temp dir, split captured NDJSON into lines — plus a fork/exec
+// `ServerProcess` and a line-oriented `TcpClient` for the socket tests.
+// Header-only; include from tests/ only.
 #pragma once
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <array>
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -56,6 +67,179 @@ inline std::string write_manifest(const std::vector<std::string>& lines) {
   for (const std::string& l : lines) out << l << "\n";
   return path;
 }
+
+// ---------------------------------------------------------------------------
+// Socket harness (covest_serve_test)
+// ---------------------------------------------------------------------------
+
+/// A spawned server binary with its stdout piped back. `start` blocks
+/// until the first stdout line ("covest_serve listening on HOST:PORT")
+/// and parses the bound port, so tests can always use `--port 0`.
+class ServerProcess {
+ public:
+  ServerProcess() = default;
+  ~ServerProcess() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      wait();
+    }
+    if (stdout_fd_ >= 0) ::close(stdout_fd_);
+  }
+
+  ServerProcess(const ServerProcess&) = delete;
+  ServerProcess& operator=(const ServerProcess&) = delete;
+
+  /// Spawns `binary args...`; `env_extra` ("NAME=VALUE") is exported to
+  /// the child only. False if the process could not be spawned or never
+  /// printed a listening line.
+  bool start(const std::string& binary, const std::vector<std::string>& args,
+             const std::string& env_extra = std::string()) {
+    int out[2];
+    if (::pipe(out) != 0) return false;
+    pid_ = ::fork();
+    if (pid_ < 0) {
+      ::close(out[0]);
+      ::close(out[1]);
+      return false;
+    }
+    if (pid_ == 0) {
+      ::dup2(out[1], STDOUT_FILENO);
+      ::close(out[0]);
+      ::close(out[1]);
+      if (!env_extra.empty()) {
+        const std::size_t eq = env_extra.find('=');
+        if (eq != std::string::npos) {
+          ::setenv(env_extra.substr(0, eq).c_str(),
+                   env_extra.substr(eq + 1).c_str(), 1);
+        }
+      }
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(binary.c_str()));
+      for (const std::string& a : args) {
+        argv.push_back(const_cast<char*>(a.c_str()));
+      }
+      argv.push_back(nullptr);
+      ::execv(binary.c_str(), argv.data());
+      ::_exit(127);
+    }
+    ::close(out[1]);
+    stdout_fd_ = out[0];
+    std::string line;
+    char c = 0;
+    while (::read(stdout_fd_, &c, 1) == 1 && c != '\n') line.push_back(c);
+    const std::size_t colon = line.find_last_of(':');
+    if (colon == std::string::npos) return false;
+    port_ = static_cast<std::uint16_t>(
+        std::strtoul(line.c_str() + colon + 1, nullptr, 10));
+    return port_ != 0;
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  void signal(int sig) {
+    if (pid_ > 0) ::kill(pid_, sig);
+  }
+
+  /// Reaps the child and returns its exit code (-1 on abnormal death).
+  int wait() {
+    if (pid_ <= 0) return -1;
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  ::pid_t pid_ = -1;
+  int stdout_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// A blocking line-oriented client for the NDJSON wire contract.
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient() { close(); }
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  bool connect_to(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      close();
+      return false;
+    }
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool send_raw(const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ::ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+  /// One received line, '\n' stripped. Empty string with `eof()` set on
+  /// disconnect — or on `timeout_ms` of silence (a test failure either
+  /// way, never a hang).
+  std::string recv_line(int timeout_ms = 60'000) {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      if (eof_) return std::string();
+      pollfd p{fd_, POLLIN, 0};
+      if (::poll(&p, 1, timeout_ms) <= 0) {
+        eof_ = true;
+        return std::string();
+      }
+      char chunk[4096];
+      const ::ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        eof_ = true;
+        return std::string();
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool eof() const { return eof_; }
+
+  void shutdown_write() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+  bool eof_ = false;
+};
 
 /// Splits captured output on '\n' (no trailing empty line entry).
 inline std::vector<std::string> split_lines(const std::string& text) {

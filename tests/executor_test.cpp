@@ -16,6 +16,7 @@
 #include "engine/engine.h"
 #include "engine/executor.h"
 #include "engine/result_json.h"
+#include "engine/session_cache.h"
 #include "model/model_parser.h"
 #include "util/governance.h"
 
@@ -392,6 +393,86 @@ SPEC AG (x & !t -> AX x) OBSERVE x;
   EXPECT_EQ(r.model_name, "inline_counter");
   ASSERT_EQ(r.signals.size(), 1u);
   EXPECT_GT(r.signals[0].percent, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Warm session cache
+// --------------------------------------------------------------------------
+
+engine::ExecutorOptions cached_options(
+    std::shared_ptr<engine::SessionCache> cache, std::size_t workers) {
+  ExecutorOptions options;
+  options.workers = workers;
+  options.session_cache = std::move(cache);
+  return options;
+}
+
+TEST(ExecutorCacheTest, WarmHitSkipsElaborateAndVerify) {
+  auto cache = std::make_shared<engine::SessionCache>(4);
+  Executor ex{cached_options(cache, 1)};
+  const SuiteResult cold = ex.submit(path_request("counter.cov")).take();
+  const SuiteResult warm = ex.submit(path_request("counter.cov")).take();
+  ASSERT_TRUE(cold.error.empty()) << cold.error;
+  EXPECT_EQ(cold.elaborate.passes, 1u);
+  EXPECT_EQ(cold.verify.passes, 1u);
+  // The repeat leases the parked session (skipping parse/elaborate) and
+  // replays its verified-suite record (skipping verify)...
+  EXPECT_EQ(warm.elaborate.passes, 0u);
+  EXPECT_EQ(warm.verify.passes, 0u);
+  // ...but the payload is byte-identical to the cold run.
+  EXPECT_EQ(canonical(cold), canonical(warm));
+
+  const engine::SessionCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 2u);  // Parked again after each lease.
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.live_nodes, 0u);
+}
+
+TEST(ExecutorCacheTest, CachedResultsMatchAnUncachedExecutorByteForByte) {
+  const char* sequence[] = {"counter.cov", "arbiter.cov", "counter.cov",
+                            "traffic.cov", "arbiter.cov"};
+  Executor plain{ExecutorOptions{}};
+  Executor cached{cached_options(std::make_shared<engine::SessionCache>(8), 1)};
+  for (const char* name : sequence) {
+    const SuiteResult expected = plain.submit(path_request(name)).take();
+    const SuiteResult actual = cached.submit(path_request(name)).take();
+    EXPECT_EQ(canonical(expected), canonical(actual)) << name;
+  }
+}
+
+TEST(ExecutorCacheTest, CapacityOneEvictsTheOldestSession) {
+  auto cache = std::make_shared<engine::SessionCache>(1);
+  Executor ex{cached_options(cache, 1)};
+  // A/B/A with room for one parked session: every acquire misses, each
+  // release evicts the previous tenant.
+  ex.submit(path_request("counter.cov")).take();
+  ex.submit(path_request("arbiter.cov")).take();
+  const SuiteResult third = ex.submit(path_request("counter.cov")).take();
+  EXPECT_EQ(third.elaborate.passes, 1u);  // Re-elaborated: it was evicted.
+
+  const engine::SessionCacheStats stats = cache->stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ExecutorCacheTest, ElaborationOptionsShapeTheCacheKey) {
+  // Same bytes, different CoverageOptions → different sessions (the
+  // BDDs they elaborate differ), so the key must separate them.
+  auto cache = std::make_shared<engine::SessionCache>(8);
+  Executor ex{cached_options(cache, 1)};
+  CoverageRequest defaults = path_request("arbiter.cov");
+  CoverageRequest unrestricted = path_request("arbiter.cov");
+  unrestricted.options.restrict_to_fair = false;
+  ex.submit(defaults).take();
+  const SuiteResult r = ex.submit(unrestricted).take();
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(cache->stats().misses, 2u);
+  EXPECT_EQ(cache->stats().entries, 2u);
 }
 
 // --------------------------------------------------------------------------

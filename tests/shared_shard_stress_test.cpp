@@ -221,13 +221,17 @@ TEST(SharedShardStressTest, SessionRunFansOutWithoutAnExecutor) {
   CoverageRequest req = traced_request("traffic.cov", 4);
   engine::Engine eng;
   auto session = eng.open(req);
+  bool first_epoch = true;
   for (const bdd::TableMode table_mode : kTableModes) {
     req.shards = 4;
     req.table_mode = table_mode;
     const SuiteResult sharded = session->run(req);
     EXPECT_EQ(canonical(sharded), serial_expectations().at("traffic.cov"))
         << table_mode_name(table_mode);
-    EXPECT_EQ(sharded.verify.passes, 1u);
+    // The first epoch verifies once; later epochs replay the session's
+    // verified-suite record (passes == 0) with identical results.
+    EXPECT_EQ(sharded.verify.passes, first_epoch ? 1u : 0u);
+    first_epoch = false;
     // The manager is exclusive again: serial re-runs on the same
     // session (memo warm) still match.
     req.shards = 1;
