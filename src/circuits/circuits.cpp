@@ -1,6 +1,7 @@
 #include "circuits/circuits.h"
 
 #include <cassert>
+#include <string>
 
 namespace covest::circuits {
 
@@ -516,6 +517,63 @@ std::vector<Formula> pipeline_hold_properties(const PipelineSpec& spec) {
     props.push_back(ag_next((r.hold > word(0, 2)) & r.data_is(r.out, bit),
                             r.data_is(r.out, bit)));
   }
+  return props;
+}
+
+// ---------------------------------------------------------------------------
+// Token ring
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string cell_name(const char* prefix, unsigned k) {
+  return std::string(prefix) + std::to_string(k);
+}
+
+}  // namespace
+
+model::Model make_token_ring(const TokenRingSpec& spec) {
+  assert(spec.cells >= 2);
+  assert(spec.taps <= spec.cells);
+  ModelBuilder b("token_ring");
+  const unsigned n = spec.cells;
+  std::vector<Expr> tok, v;
+  tok.reserve(n);
+  v.reserve(n);
+  for (unsigned k = 0; k < n; ++k) {
+    tok.push_back(b.state_bool(cell_name("tok", k), k == 0));
+  }
+  for (unsigned k = 0; k < n; ++k) {
+    v.push_back(b.state_bool(cell_name("v", k), false));
+  }
+  const Expr adv = b.input_bool("adv");
+  const Expr flip = b.input_bool("flip");
+  for (unsigned k = 0; k < n; ++k) {
+    b.next(cell_name("tok", k), ite(adv, tok[(k + n - 1) % n], tok[k]));
+  }
+  for (unsigned k = 0; k < n; ++k) {
+    // Tapped stations fold in the bit halfway across the ring (XNOR so
+    // the all-false initial state still toggles), giving the relation
+    // its order-hostile long-range reads.
+    const Expr toggled =
+        k < spec.taps ? !(v[k] ^ v[(k + n / 2) % n]) : !v[k];
+    b.next(cell_name("v", k), ite(tok[k] & flip, toggled, v[k]));
+  }
+  return b.build();
+}
+
+std::vector<Formula> ring_safety_properties(const TokenRingSpec& spec) {
+  const unsigned n = spec.cells;
+  std::vector<Formula> props;
+  // Token uniqueness on adjacent pairs; capped so the suite size stays
+  // constant while `cells` scales the state space.
+  for (unsigned k = 0; k < n && k < 4; ++k) {
+    const Expr a = Expr::var(cell_name("tok", k));
+    const Expr c = Expr::var(cell_name("tok", (k + 1) % n));
+    props.push_back(Formula::AG(prop(!(a & c))));
+  }
+  props.push_back(ag_next(Expr::var("adv") & Expr::var("tok0"),
+                          Expr::var("tok1")));
   return props;
 }
 

@@ -123,6 +123,31 @@ std::vector<ctl::Formula> pipeline_properties_initial(const PipelineSpec&);
 std::vector<ctl::Formula> pipeline_hold_properties(const PipelineSpec&);
 
 // --------------------------------------------------------------------------
+// Token ring: the scalable image-strategy stressor
+// --------------------------------------------------------------------------
+
+struct TokenRingSpec {
+  unsigned cells = 8;  ///< Ring stations; 2*cells state bits (>= 2).
+  unsigned taps = 2;   ///< Stations whose data update also reads the
+                       ///< station halfway across the ring (<= cells).
+};
+
+/// A one-hot token circulating through `cells` stations, each guarding a
+/// data bit that toggles only while the station holds the token. The
+/// transition relation is a conjunction of 2*cells small partials with
+/// mostly-local support — the shape partitioned image computation with
+/// early quantification is built for — while the `taps` cross-ring reads
+/// deny any variable order that keeps *every* partial local, so the
+/// conjoined monolithic relation pays for the long-range dependencies on
+/// every image. Scaling `cells` separates the image strategies without
+/// changing the model's character.
+model::Model make_token_ring(const TokenRingSpec& spec = {});
+
+/// Safety suite, all holding: token uniqueness on adjacent station pairs
+/// plus single-step token progression under `adv`.
+std::vector<ctl::Formula> ring_safety_properties(const TokenRingSpec&);
+
+// --------------------------------------------------------------------------
 // Figure graphs
 // --------------------------------------------------------------------------
 

@@ -52,13 +52,24 @@ Bdd CoverageEstimator::reachable_fair(const Bdd& s) {
     }
   }
   // Computed outside the lock: a racing thread may redo this fix-point,
-  // but both arrive at the same canonical BDD.
+  // but both arrive at the same canonical BDD. Under kChaining the loop
+  // uses the accumulated-set discipline (same least fixpoint, chained
+  // intermediates); otherwise frontier BFS.
   Bdd reached = s;
-  Bdd frontier = s;
-  while (!frontier.is_false()) {
-    covest::governor_tick();
-    frontier = forward_fair(frontier) - reached;
-    reached |= frontier;
+  if (options_.image_strategy == image::ImageStrategy::kChaining) {
+    while (true) {
+      covest::governor_tick();
+      const Bdd next = reached | forward_fair(reached);
+      if (next == reached) break;
+      reached = next;
+    }
+  } else {
+    Bdd frontier = s;
+    while (!frontier.is_false()) {
+      covest::governor_tick();
+      frontier = forward_fair(frontier) - reached;
+      reached |= frontier;
+    }
   }
   std::lock_guard<std::recursive_mutex> lock(cache_mu_);
   reach_cache_[s.index()] = ReachEntry{s, reached};
@@ -107,11 +118,21 @@ Bdd CoverageEstimator::traverse(const Bdd& s0, const Bdd& t1, const Bdd& t2) {
   }
   const Bdd band = t1 - t2;
   Bdd acc = s0 & band;
-  Bdd frontier = acc;
-  while (!frontier.is_false()) {
-    covest::governor_tick();
-    frontier = (forward_fair(frontier) & band) - acc;
-    acc |= frontier;
+  if (options_.image_strategy == image::ImageStrategy::kChaining) {
+    // Accumulated-set discipline of lfp X. (S0∧band) ∪ (forward(X)∧band).
+    while (true) {
+      covest::governor_tick();
+      const Bdd next = acc | (forward_fair(acc) & band);
+      if (next == acc) break;
+      acc = next;
+    }
+  } else {
+    Bdd frontier = acc;
+    while (!frontier.is_false()) {
+      covest::governor_tick();
+      frontier = (forward_fair(frontier) & band) - acc;
+      acc |= frontier;
+    }
   }
   std::lock_guard<std::recursive_mutex> lock(cache_mu_);
   auto& bucket = traverse_cache_[key];  // Re-resolved: the map may have
@@ -133,6 +154,10 @@ Bdd CoverageEstimator::firstreached(const Bdd& s0, const Bdd& t2) {
       if (e.s0 == s0 && e.t2 == t2) return e.result;
     }
   }
+  // Always layered BFS, whatever the image strategy: the recurrence
+  // prunes paths *through* t2 states via the frontier, so the visit
+  // discipline is part of the definition (unlike the plain fixpoints
+  // above). Strategies still differ inside each forward_fair step.
   Bdd first = s0 & t2;
   Bdd visited = s0;
   Bdd frontier = s0 - t2;

@@ -42,6 +42,7 @@
 #include "ctl/checker.h"
 #include "ctl/ctl.h"
 #include "fsm/trace.h"
+#include "image/image.h"
 
 namespace covest::core {
 
@@ -54,6 +55,10 @@ struct CoverageOptions {
   /// (Definition 3 presupposes M |= f). When false, failing properties
   /// contribute an empty covered set instead.
   bool require_holds = true;
+  /// How images/preimages traverse the partitioned transition relation
+  /// (image/image.h). Results are byte-identical across strategies;
+  /// only the intermediates — and so the wall time — differ.
+  image::ImageStrategy image_strategy = image::ImageStrategy::kPartitioned;
 };
 
 /// Coverage of one observed signal for a property suite.

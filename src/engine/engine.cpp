@@ -166,7 +166,7 @@ std::vector<std::string> resolve_signal_names(const CoverageRequest& request,
 
 Session::Session(const model::Model& model, core::CoverageOptions options,
                  std::size_t max_live_nodes)
-    : fsm_(model, max_live_nodes),
+    : fsm_(model, max_live_nodes, options.image_strategy),
       checker_(fsm_),
       estimator_(checker_, lenient(options)) {}
 
@@ -240,7 +240,17 @@ SuiteResult Session::run(const CoverageRequest& request,
   const model::Model& m = model();
   result.model_name = m.name();
   result.state_bits = m.state_bit_count();
-  result.elaborate = snapshot(fsm_.mgr(), 0.0);
+
+  // Every phase snapshot carries the partitioned-relation shape, so a
+  // strategy's per-phase win is observable next to its timings.
+  const auto snap = [this](double ms) {
+    PhaseStats p = snapshot(fsm_.mgr(), ms);
+    p.partial_relations = fsm_.relation().partial_count();
+    p.clusters = fsm_.relation().cluster_count();
+    p.largest_cluster = fsm_.relation().largest_cluster();
+    return p;
+  };
+  result.elaborate = snap(0.0);
 
   const auto progress = [&hooks](const Progress& p) {
     return !hooks.on_progress || hooks.on_progress(p);
@@ -253,7 +263,7 @@ SuiteResult Session::run(const CoverageRequest& request,
                                 const char* what, PhaseStats* phase,
                                 double phase_ms, std::size_t live,
                                 std::size_t budget) {
-    *phase = snapshot(fsm_.mgr(), phase_ms);
+    *phase = snap(phase_ms);
     if (live != 0) phase->live_nodes = live;
     if (budget != 0) phase->node_budget = budget;
     result.status = status;
@@ -284,7 +294,7 @@ SuiteResult Session::run(const CoverageRequest& request,
   if (warm != verified_.end()) {
     result.properties = warm->second.properties;
     result.failures = warm->second.failures;
-    result.verify = snapshot(fsm_.mgr(), 0.0);
+    result.verify = snap(0.0);
     result.verify.passes = 0;
   } else {
     const auto t_verify = Clock::now();
@@ -316,7 +326,7 @@ SuiteResult Session::run(const CoverageRequest& request,
         if (!progress(p)) {
           result.cancelled = true;
           result.status = ResultStatus::kCancelled;
-          result.verify = snapshot(fsm_.mgr(), ms_since(t_verify));
+          result.verify = snap(ms_since(t_verify));
           result.total_ms = ms_since(t_run);
           return result;
         }
@@ -331,7 +341,7 @@ SuiteResult Session::run(const CoverageRequest& request,
                    e.budget());
       return result;
     }
-    result.verify = snapshot(fsm_.mgr(), ms_since(t_verify));
+    result.verify = snap(ms_since(t_verify));
     // Record the artifacts only for fully-verified suites: partial results
     // returned above must re-verify. The cap clears wholesale — suites are
     // few and small, and wholesale keeps no LRU bookkeeping.
@@ -386,7 +396,7 @@ SuiteResult Session::run(const CoverageRequest& request,
         if (!progress(p)) {
           result.cancelled = true;
           result.status = ResultStatus::kCancelled;
-          result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
+          result.estimate = snap(ms_since(t_estimate));
           result.total_ms = ms_since(t_run);
           return result;
         }
@@ -506,12 +516,12 @@ SuiteResult Session::run(const CoverageRequest& request,
     if (cancelled.load()) {
       result.cancelled = true;
       result.status = ResultStatus::kCancelled;
-      result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
+      result.estimate = snap(ms_since(t_estimate));
       result.total_ms = ms_since(t_run);
       return result;
     }
   }
-  result.estimate = snapshot(fsm_.mgr(), ms_since(t_estimate));
+  result.estimate = snap(ms_since(t_estimate));
 
   Progress done;
   done.phase = Progress::Phase::kDone;

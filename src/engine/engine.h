@@ -161,6 +161,9 @@ struct CoverageRequest {
   std::vector<std::string> signals;
 
   // -- Policy ---------------------------------------------------------------
+  /// Estimator policy. `options.image_strategy` travels as the
+  /// top-level `"image_strategy"` JSON field (like `table_mode`), not
+  /// inside the `"options"` object.
   core::CoverageOptions options;
   /// When false (default), properties that fail verification are skipped:
   /// they contribute nothing to coverage, matching Definition 3's
@@ -270,6 +273,14 @@ struct PhaseStats {
   /// The manager's `max_live_nodes` budget during the run; 0 when
   /// unbudgeted (and then omitted from the JSON stats).
   std::size_t node_budget = 0;
+  /// Partitioned-image shape (image/image.h): how many partial
+  /// relations the model elaborated into, how many clusters they were
+  /// conjoined into, and the partial count of the largest cluster.
+  /// Session runs stamp all three on every phase; 0 everywhere for
+  /// results that never elaborated (and then omitted from the JSON).
+  std::size_t partial_relations = 0;
+  std::size_t clusters = 0;
+  std::size_t largest_cluster = 0;
 };
 
 /// Structured outcome of a whole suite run.

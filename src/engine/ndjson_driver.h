@@ -36,6 +36,7 @@
 #include <string>
 
 #include "engine/executor.h"
+#include "image/image.h"
 
 namespace covest::engine {
 
@@ -61,13 +62,15 @@ std::string ndjson_dirname(const std::string& path);
 // ---------------------------------------------------------------------------
 
 /// Driver-level knobs applied to every parsed request line — the
-/// `--shards/--deadline-ms/--max-nodes/--table-mode` flags both
-/// binaries accept.
+/// `--shards/--deadline-ms/--max-nodes/--table-mode/--image-strategy`
+/// flags both binaries accept.
 struct RequestDefaults {
   std::size_t shards = 0;       ///< 0 = leave the request's own value.
   std::size_t deadline_ms = 0;  ///< 0 = leave the request's own value.
   std::size_t max_nodes = 0;    ///< 0 = leave the request's own value.
   std::optional<bdd::TableMode> table_mode;  ///< Unset = per-request value.
+  /// Unset = per-request value.
+  std::optional<image::ImageStrategy> image_strategy;
   bool want_traces = false;  ///< Applied to bare model-path lines only.
   /// How a set flag meets a request that also sets the field: the batch
   /// driver's flags win (true — a CLI override for the whole batch);

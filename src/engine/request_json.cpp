@@ -9,6 +9,7 @@
 
 #include "ctl/ctl.h"
 #include "engine/json.h"
+#include "image/image.h"
 
 namespace covest::engine {
 
@@ -146,6 +147,8 @@ std::string to_json(const CoverageRequest& request,
   w.field_string("table_mode",
                  request.table_mode == bdd::TableMode::kStriped ? "striped"
                                                                 : "lockfree");
+  w.field_string("image_strategy",
+                 image::to_string(request.options.image_strategy));
   // Governance limits are omitted when unset, so pre-governance
   // documents (and their goldens) stay byte-identical.
   if (request.deadline_ms != 0) {
@@ -335,6 +338,14 @@ CoverageRequest request_from_json(const std::string& text) {
         request.table_mode = bdd::TableMode::kStriped;
       } else {
         schema_fail("'table_mode' must be 'lockfree' or 'striped'");
+      }
+    } else if (key == "image_strategy") {
+      const std::string& strategy = as_string(value, "image_strategy");
+      if (!image::image_strategy_from_string(
+              strategy, &request.options.image_strategy)) {
+        schema_fail(
+            "'image_strategy' must be 'monolithic', 'partitioned' or "
+            "'chaining'");
       }
     } else {
       schema_fail("unknown key '" + key + "'");

@@ -139,6 +139,14 @@ void write_phase(JsonWriter& w, const PhaseStats& phase) {
     w.key("node_budget");
     w.number(static_cast<std::uint64_t>(phase.node_budget));
   }
+  if (phase.partial_relations != 0) {  // Only elaborated sessions carry them.
+    w.key("partial_relations");
+    w.number(static_cast<std::uint64_t>(phase.partial_relations));
+    w.key("clusters");
+    w.number(static_cast<std::uint64_t>(phase.clusters));
+    w.key("largest_cluster");
+    w.number(static_cast<std::uint64_t>(phase.largest_cluster));
+  }
   w.end_object();
 }
 

@@ -47,7 +47,8 @@ std::uint64_t SessionCache::key_of(const std::string& source,
   mix(source.size());
   mix((options.restrict_to_fair ? 1u : 0u) |
       (options.exclude_dontcares ? 2u : 0u) |
-      (options.require_holds ? 4u : 0u));
+      (options.require_holds ? 4u : 0u) |
+      (static_cast<unsigned>(options.image_strategy) << 3));
   mix(max_live_nodes);
   return h;
 }

@@ -13,14 +13,17 @@ using bdd::Bdd;
 using bdd::Var;
 
 SymbolicFsm::SymbolicFsm(const model::Model& model,
-                         std::size_t max_live_nodes)
-    : model_(model), mgr_(std::make_unique<bdd::BddManager>()) {
+                         std::size_t max_live_nodes,
+                         image::ImageStrategy strategy)
+    : model_(model),
+      mgr_(std::make_unique<bdd::BddManager>()),
+      strategy_(strategy) {
   mgr_->set_max_live_nodes(max_live_nodes);
   model_.validate();
   allocate_variables();
   build_transition();
+  build_image_engine();
   build_initial_states();
-  build_schedules();
 
   for (const expr::Expr& f : model_.fairness()) {
     fairness_.push_back(blast_bool(f));
@@ -110,8 +113,30 @@ void SymbolicFsm::build_transition() {
     }
     for (std::size_t i = 0; i < l.next.size(); ++i) {
       parts_.push_back(mgr_->var(l.next[i]).iff(bits.bits[i]));
+      part_writes_.push_back(l.next[i]);
     }
   }
+}
+
+void SymbolicFsm::build_image_engine() {
+  // Dependency matrix from the parts' actual BDD supports (not the
+  // declaration order): which current/input variables each next-state
+  // bit reads.
+  std::vector<bool> is_next(mgr_->num_vars(), false);
+  for (const Var v : next_vars_) is_next[v] = true;
+  dep_ = image::DependencyMatrix::build(*mgr_, parts_, part_writes_, is_next);
+
+  // Static variable order: FORCE-style placement of the current/next
+  // pairs. Installing it now — before the initial states, fairness and
+  // property sets are built — keeps the one reordering pass cheap. The
+  // order is a function of the model alone (never of the strategy), so
+  // cross-strategy byte-identity is unaffected.
+  const image::VariableOrdering ordering =
+      dep_.derive_order(current_vars_, next_vars_);
+  if (!ordering.order.empty()) mgr_->set_order(ordering.order);
+
+  rel_.build(*mgr_, parts_, dep_.part_order(ordering), current_vars_,
+             next_vars_);
 }
 
 void SymbolicFsm::build_initial_states() {
@@ -136,47 +161,8 @@ void SymbolicFsm::build_initial_states() {
   }
 }
 
-void SymbolicFsm::build_schedules() {
-  // For each variable to quantify, find the last transition part whose
-  // support contains it; it can be quantified out right after that part
-  // is conjoined (early quantification). Variables in no part at all are
-  // quantified directly from the argument set.
-  const auto make_schedule = [this](const std::vector<Var>& quantify,
-                                    std::vector<Bdd>& cubes, Bdd& rest_cube) {
-    std::vector<int> last(mgr_->num_vars(), -1);
-    for (std::size_t k = 0; k < parts_.size(); ++k) {
-      for (Var v : mgr_->support(parts_[k])) {
-        last[v] = static_cast<int>(k);
-      }
-    }
-    std::vector<std::vector<Var>> per_part(parts_.size());
-    std::vector<Var> rest;
-    for (Var v : quantify) {
-      if (last[v] >= 0) {
-        per_part[static_cast<std::size_t>(last[v])].push_back(v);
-      } else {
-        rest.push_back(v);
-      }
-    }
-    cubes.clear();
-    for (const auto& vars : per_part) cubes.push_back(mgr_->cube(vars));
-    rest_cube = mgr_->cube(rest);
-  };
-
-  make_schedule(current_vars_, img_cubes_, img_rest_cube_);
-  make_schedule(next_vars_, pre_cubes_, pre_rest_cube_);
-}
-
 const Bdd& SymbolicFsm::transition_relation() const {
-  // Engaged at most once; the lock makes the lazy build safe if a
-  // shared-mode estimator thread ever asks for the monolithic relation.
-  std::lock_guard<std::mutex> lock(monolithic_mu_);
-  if (!monolithic_) {
-    Bdd t = mgr_->bdd_true();
-    for (const Bdd& p : parts_) t &= p;
-    monolithic_ = t;
-  }
-  return *monolithic_;
+  return rel_.monolithic();
 }
 
 Bdd SymbolicFsm::to_next(const Bdd& current_set) const {
@@ -188,22 +174,26 @@ Bdd SymbolicFsm::to_current(const Bdd& next_set) const {
 }
 
 Bdd SymbolicFsm::forward(const Bdd& states) const {
-  Bdd x = mgr_->exists(states, img_rest_cube_);
-  for (std::size_t k = 0; k < parts_.size(); ++k) {
-    x = mgr_->and_exists(x, parts_[k], img_cubes_[k]);
-  }
-  return to_current(x);
+  return to_current(rel_.image(states, strategy_));
 }
 
 Bdd SymbolicFsm::backward(const Bdd& states) const {
-  Bdd x = mgr_->exists(to_next(states), pre_rest_cube_);
-  for (std::size_t k = 0; k < parts_.size(); ++k) {
-    x = mgr_->and_exists(x, parts_[k], pre_cubes_[k]);
-  }
-  return x;
+  return rel_.preimage(to_next(states), strategy_);
 }
 
 Bdd SymbolicFsm::reachable(const Bdd& from) const {
+  if (strategy_ == image::ImageStrategy::kChaining) {
+    // Accumulated-set (Gauss-Seidel) discipline: feed the whole reached
+    // set back through the chained clusters until nothing is new. Same
+    // least fixpoint as the BFS below, different intermediates.
+    Bdd reached = from;
+    while (true) {
+      covest::governor_tick();
+      const Bdd next = reached | forward(reached);
+      if (next == reached) return reached;
+      reached = next;
+    }
+  }
   Bdd reached = from;
   Bdd frontier = from;
   while (!frontier.is_false()) {

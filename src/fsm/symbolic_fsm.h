@@ -1,10 +1,10 @@
 // Symbolic finite state machine over BDDs.
 //
 // A `Model` is *elaborated* into a `SymbolicFsm`: every signal bit gets a
-// pair of BDD variables (current, next), interleaved in the order so that
-// related bits sit close together. Following SMV, primary inputs are part
-// of the state space: a state is a valuation of all latch and input bits,
-// and the transition relation
+// pair of BDD variables (current, next), interleaved so that related bits
+// sit close together. Following SMV, primary inputs are part of the state
+// space: a state is a valuation of all latch and input bits, and the
+// transition relation
 //
 //   T((l, i), (l', i'))  =  /\_b  l'_b <-> f_b(l, i)
 //
@@ -13,14 +13,20 @@
 // duality arguments rely on, and lets properties refer to input signals
 // (as the paper's modulo-5 counter property does with `stall`/`reset`).
 //
-// Image and preimage use the conjunctively partitioned relation with an
-// early-quantification schedule (IWLS95-style, linear ordering); the
-// monolithic relation is kept lazily for input labelling of traces.
+// Image computation goes through the partitioned image engine
+// (image/image.h): elaboration derives a dependency matrix from each
+// signal's next-state support, installs the static variable order that
+// matrix suggests (current/next pairs move as blocks, so renaming stays
+// a valid permutation), clusters the partial relations in dependency
+// order, and precomputes early-quantification schedules. The
+// `ImageStrategy` selects how `forward`/`backward` and the fix-point
+// loops traverse those clusters; every strategy yields the identical
+// canonical BDDs. The monolithic relation is kept lazily for the
+// kMonolithic baseline and for input labelling of traces.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -29,6 +35,7 @@
 #include "bdd/bdd.h"
 #include "expr/bitblast.h"
 #include "expr/expr.h"
+#include "image/image.h"
 #include "model/model.h"
 
 namespace covest::fsm {
@@ -48,9 +55,12 @@ class SymbolicFsm {
   /// `max_live_nodes` (0 = unlimited) becomes the manager's node budget
   /// before elaboration starts, so a pathological model cannot OOM even
   /// while building its transition relation — exhaustion throws
-  /// covest::ResourceExhausted out of the constructor.
-  explicit SymbolicFsm(const model::Model& model,
-                       std::size_t max_live_nodes = 0);
+  /// covest::ResourceExhausted out of the constructor. `strategy`
+  /// selects the image-computation path for this FSM's whole life;
+  /// results are byte-identical across strategies.
+  explicit SymbolicFsm(
+      const model::Model& model, std::size_t max_live_nodes = 0,
+      image::ImageStrategy strategy = image::ImageStrategy::kPartitioned);
 
   SymbolicFsm(const SymbolicFsm&) = delete;
   SymbolicFsm& operator=(const SymbolicFsm&) = delete;
@@ -71,11 +81,22 @@ class SymbolicFsm {
   /// Initial states: INIT assignments/constraints on latches; inputs free.
   const bdd::Bdd& initial_states() const { return init_; }
 
-  /// One conjunct per assigned latch bit: `next_bit <-> f(l, i)`.
+  /// One conjunct per assigned latch bit: `next_bit <-> f(l, i)`, in
+  /// declaration order (the partitioned engine re-orders internally).
   const std::vector<bdd::Bdd>& transition_parts() const { return parts_; }
 
   /// The full conjunction of the parts (built lazily, cached).
   const bdd::Bdd& transition_relation() const;
+
+  /// The image strategy this FSM was elaborated with.
+  image::ImageStrategy image_strategy() const { return strategy_; }
+
+  /// The clustered conjunctive relation behind forward/backward.
+  const image::PartitionedRelation& relation() const { return rel_; }
+
+  /// The dependency matrix (one row per partial relation, declaration
+  /// order) elaboration derived the variable order and clustering from.
+  const image::DependencyMatrix& dependency_matrix() const { return dep_; }
 
   /// Fairness constraint sets (over current vars), from the model.
   const std::vector<bdd::Bdd>& fairness() const { return fairness_; }
@@ -100,13 +121,17 @@ class SymbolicFsm {
   /// States with at least one successor inside `states` (EX states).
   bdd::Bdd backward(const bdd::Bdd& states) const;
 
-  /// Least fixpoint of `forward` containing `from`
-  /// (the paper's `reachable(S0)`).
+  /// Least fixpoint of `forward` containing `from` (the paper's
+  /// `reachable(S0)`). Frontier BFS under kMonolithic/kPartitioned;
+  /// the accumulated-set discipline under kChaining — both converge to
+  /// the identical set.
   bdd::Bdd reachable(const bdd::Bdd& from) const;
 
   /// Breadth-first "onion rings": rings[0] = from, rings[k+1] = states
   /// first reached in k+1 steps. Stops early once `target` (if given) is
-  /// intersected; used for shortest-path trace generation.
+  /// intersected; used for shortest-path trace generation. Always
+  /// strict BFS — the ring structure is part of the trace contract —
+  /// whatever the image strategy inside each step.
   std::vector<bdd::Bdd> forward_rings(
       const bdd::Bdd& from, const bdd::Bdd* target = nullptr) const;
 
@@ -135,10 +160,11 @@ class SymbolicFsm {
   void allocate_variables();
   void build_transition();
   void build_initial_states();
-  void build_schedules();
+  void build_image_engine();
 
   model::Model model_;
   std::unique_ptr<bdd::BddManager> mgr_;
+  image::ImageStrategy strategy_;
   std::vector<SignalLayout> layouts_;
   std::unordered_map<std::string, std::size_t> layout_index_;
 
@@ -147,20 +173,14 @@ class SymbolicFsm {
   std::vector<bdd::Var> perm_to_next_;     // var -> renamed var
   std::vector<bdd::Var> perm_to_current_;
 
-  std::vector<bdd::Bdd> parts_;
-  // Early-quantification schedule: quantify_after_[k] is the cube of
-  // current-state vars whose last occurrence is in part k (image);
-  // pre_quantify_after_[k] likewise for next vars (preimage).
-  std::vector<bdd::Bdd> img_cubes_;
-  std::vector<bdd::Bdd> pre_cubes_;
-  bdd::Bdd img_rest_cube_;  // Vars appearing in no part (image).
-  bdd::Bdd pre_rest_cube_;
+  std::vector<bdd::Bdd> parts_;      ///< Declaration order.
+  std::vector<bdd::Var> part_writes_;  ///< Next var per part, parallel.
+  image::DependencyMatrix dep_;
+  image::PartitionedRelation rel_;
 
   bdd::Bdd init_;
   std::vector<bdd::Bdd> fairness_;
   bdd::Bdd dontcare_;
-  mutable std::mutex monolithic_mu_;
-  mutable std::optional<bdd::Bdd> monolithic_;
 };
 
 }  // namespace covest::fsm

@@ -14,6 +14,7 @@
 #include "engine/engine.h"
 #include "engine/executor.h"
 #include "engine/result_json.h"
+#include "image/image.h"
 #include "util/governance.h"
 
 namespace covest {
@@ -206,6 +207,73 @@ TEST(FaultInjectionTest, TinyRealBudgetSurfacesStructurally) {
   // The failing phase records where the budget bit.
   EXPECT_EQ(r.elaborate.node_budget, 16u);
   EXPECT_GE(r.elaborate.live_nodes, 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Image-strategy sweeps
+// ---------------------------------------------------------------------------
+
+/// Deadline and node-budget injection under the non-default image
+/// strategies. Each strategy runs a different fix-point discipline with
+/// its own trigger-point count (chaining ticks once per cluster
+/// application), so the sweep recalibrates per strategy — and holds
+/// every interruption to the same contract as the default engine: a
+/// structured status, no error string, and a byte-exact
+/// completed-property prefix of that strategy's own baseline. The
+/// baseline itself must match the default engine's bytes (canonical
+/// sets don't depend on how the image was scheduled).
+TEST(FaultInjectionTest, StrategySweepsKeepStructuredStatusesAndPrefixes) {
+  InjectorGuard guard;
+  for (const image::ImageStrategy strategy :
+       {image::ImageStrategy::kMonolithic, image::ImageStrategy::kChaining}) {
+    for (const char* model : {"arbiter.cov", "traffic.cov"}) {
+      CoverageRequest req = path_request(model);
+      req.options.image_strategy = strategy;
+      const SuiteResult base = Engine().run(req);
+      const std::string baseline = canonical(base);
+      EXPECT_EQ(baseline, canonical(Engine().run(path_request(model))))
+          << image::to_string(strategy) << " diverged on " << model;
+
+      const std::uint64_t deadline_total =
+          calibrate(FaultInjector::Site::kDeadline, req, baseline);
+      ASSERT_GT(deadline_total, 0u) << model;
+      for (const std::uint64_t n : sweep_points(deadline_total)) {
+        FaultInjector::arm(FaultInjector::Site::kDeadline, n);
+        const SuiteResult r = Engine().run(req);
+        FaultInjector::disarm();
+        ASSERT_EQ(r.status, ResultStatus::kDeadlineExceeded)
+            << image::to_string(strategy) << " " << model << " @ tick " << n;
+        EXPECT_TRUE(r.error.empty()) << r.error;
+        ASSERT_LE(r.properties.size(), base.properties.size());
+        for (std::size_t i = 0; i < r.properties.size(); ++i) {
+          EXPECT_EQ(r.properties[i].ctl_text, base.properties[i].ctl_text);
+          EXPECT_EQ(r.properties[i].holds, base.properties[i].holds);
+        }
+        EXPECT_EQ(canonical(Engine().run(req)), baseline)
+            << image::to_string(strategy) << " " << model
+            << " after tick " << n;
+      }
+
+      const std::uint64_t alloc_total =
+          calibrate(FaultInjector::Site::kAllocation, req, baseline);
+      ASSERT_GT(alloc_total, 0u) << model;
+      for (const std::uint64_t n :
+           {std::uint64_t{1}, alloc_total / 2, alloc_total}) {
+        if (n < 1) continue;
+        FaultInjector::arm(FaultInjector::Site::kAllocation, n);
+        const SuiteResult r = Engine().run(req);
+        FaultInjector::disarm();
+        EXPECT_EQ(r.status, ResultStatus::kResourceExhausted)
+            << image::to_string(strategy) << " " << model
+            << " @ allocation " << n;
+        EXPECT_TRUE(r.error.empty()) << r.error;
+        EXPECT_FALSE(r.status_detail.empty());
+        EXPECT_EQ(canonical(Engine().run(req)), baseline)
+            << image::to_string(strategy) << " " << model
+            << " after allocation " << n;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -86,6 +86,10 @@ w('bad_request/table_mode_unknown.json',
   '{"model_path": "m.cov", "table_mode": "spinlock"}')
 w('bad_request/table_mode_wrong_type.json',
   '{"model_path": "m.cov", "table_mode": 2}')
+w('bad_request/image_strategy_unknown.json',
+  '{"model_path": "m.cov", "image_strategy": "saturation"}')
+w('bad_request/image_strategy_wrong_type.json',
+  '{"model_path": "m.cov", "image_strategy": 1}')
 w('bad_request/unknown_top_level_key.json', '{"modle_path": "m.cov"}')
 # Resource-governance counts: both must be >= 1 integers when present
 # (0 is spelled by omission), and the shared count grammar already
@@ -137,6 +141,8 @@ w('good_request/shard_mode_shared.json',
   '{"model_path": "m.cov", "shards": 2, "shard_mode": "shared_manager"}')
 w('good_request/table_mode_striped.json',
   '{"model_path": "m.cov", "shards": 2, "table_mode": "striped"}')
+w('good_request/image_strategy_chaining.json',
+  '{"model_path": "m.cov", "image_strategy": "chaining"}')
 w('good_request/deadline_and_budget.json',
   '{"model_path": "m.cov", "deadline_ms": 500, "max_live_nodes": 100000}')
 
