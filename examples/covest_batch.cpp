@@ -72,6 +72,10 @@ void usage(std::FILE* to) {
       "  --max-nodes N\n"
       "               per-job BDD node budget; exhaustion emits status\n"
       "               resource_exhausted\n"
+      "  --parallel-apply N\n"
+      "               in-operation parallelism: each job's BDD applies\n"
+      "               fork across N work-stealing workers; results are\n"
+      "               byte-identical to serial\n"
       "  --max-queue N\n"
       "               bound the executor queue; submission blocks for\n"
       "               room (backpressure) instead of growing unbounded\n"
@@ -125,6 +129,15 @@ int main(int argc, char** argv) {
           options.defaults.max_nodes == 0) {
         std::fprintf(stderr,
                      "error: --max-nodes needs a positive integer\n\n");
+        usage(stderr);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--parallel-apply") == 0) {
+      if (i + 1 >= argc ||
+          !parse_count(argv[++i], &options.defaults.parallel_apply) ||
+          options.defaults.parallel_apply == 0) {
+        std::fprintf(stderr,
+                     "error: --parallel-apply needs a positive integer\n\n");
         usage(stderr);
         return 2;
       }

@@ -44,11 +44,24 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "bdd/parallel.h"
 #include "util/governance.h"
 
 namespace covest::bdd {
 
 namespace {
+
+// Process-global epoch tokens: every mode transition of every manager
+// draws a fresh value, so a (manager, epoch) pair can never recur — a
+// per-manager counter would let a thread-local ctx cache false-hit on a
+// new manager allocated at a dead manager's address once its counter
+// climbed back to the cached value (use-after-free via the cached
+// ThreadCtx*).
+std::atomic<std::uint64_t> g_epoch_tokens{0};
+
+std::uint64_t next_epoch_token() {
+  return g_epoch_tokens.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 std::uint64_t mix64(std::uint64_t x) {
   // splitmix64 finalizer; good avalanche for consing keys.
@@ -236,14 +249,19 @@ Bdd BddManager::cube(const std::vector<Var>& vars) {
 // Shared (sharded) mode
 // ---------------------------------------------------------------------------
 
-void BddManager::begin_shared(std::size_t max_threads, TableMode table_mode) {
+void BddManager::begin_shared(std::size_t max_threads, TableMode table_mode,
+                              const ParallelConfig& parallel) {
   if (shared_mode_) {
     throw std::logic_error("BddManager::begin_shared: already in shared mode");
   }
   assert(owner_thread_ == std::this_thread::get_id() &&
          "begin_shared must be called by the owning thread");
   assert(!main_ctx_.in_operation && "begin_shared inside an operation");
-  shard_max_threads_ = std::max<std::size_t>(1, max_threads);
+  // Pool helpers register as shard threads too: budget their contexts
+  // on top of the client threads the caller declared.
+  const std::size_t pool_helpers =
+      parallel.workers > 1 ? parallel.workers - 1 : 0;
+  shard_max_threads_ = std::max<std::size_t>(1, max_threads) + pool_helpers;
   table_mode_ = table_mode;
   if (table_mode_ == TableMode::kLockFree) {
     // Pre-size every subtable while the manager is still exclusive: the
@@ -267,13 +285,27 @@ void BddManager::begin_shared(std::size_t max_threads, TableMode table_mode) {
   }
   shard_ctxs_.clear();
   shard_ctxs_.reserve(shard_max_threads_);
-  ++shared_epoch_;
+  shared_epoch_ = next_epoch_token();
   shared_mode_ = true;
+  if (parallel.workers >= 1) {
+    // Started after the epoch is open so the helper threads can
+    // register; they adopt this thread's governor (start() captures it).
+    par_pool_ = std::make_unique<ParallelPool>(
+        *this, pool_helpers, parallel.fork_threshold, shard_max_threads_);
+    par_pool_->start();
+  }
 }
 
 void BddManager::end_shared() {
   if (!shared_mode_) {
     throw std::logic_error("BddManager::end_shared without begin_shared");
+  }
+  if (par_pool_) {
+    // Helpers must quiesce while the epoch is still open (their exit
+    // path touches no manager state, but an in-flight stolen task
+    // does); their ThreadCtx deltas merge with everyone else's below.
+    par_pool_->stop_and_join();
+    par_pool_.reset();
   }
   shared_mode_ = false;
   for (const std::unique_ptr<ThreadCtx>& tc : shard_ctxs_) {
@@ -301,7 +333,7 @@ void BddManager::end_shared() {
     }
   }
   shard_ctxs_.clear();
-  ++shared_epoch_;
+  shared_epoch_ = next_epoch_token();
   owner_thread_ = std::this_thread::get_id();
 }
 

@@ -149,6 +149,7 @@ constexpr NodeIndex edge_not(NodeIndex e) { return e ^ kComplementBit; }
 constexpr bool edge_is_terminal(NodeIndex e) { return edge_node(e) == 0; }
 
 class BddManager;
+class ParallelPool;
 
 /// How a shared-mode epoch synchronizes the unique tables and the
 /// computed cache (see the header comment). Exclusive mode ignores it:
@@ -160,6 +161,28 @@ enum class TableMode {
   /// cache. The default: same-variable `make_node` bursts no longer
   /// serialize on a stripe.
   kLockFree,
+};
+
+/// Work-stealing parallel-apply configuration for a shared epoch (see
+/// bdd/parallel.h). When `workers >= 1` the epoch routes apply
+/// (AND/OR/XOR/ITE), exists/forall and and_exists through fork/join
+/// recursion over a Chase–Lev task-deque pool; results are
+/// byte-identical to the serial cores by canonicity. `workers - 1`
+/// helper threads are spawned (so `workers == 1` exercises the forking
+/// machinery single-threaded) and counted against the epoch's
+/// registration capacity automatically.
+struct ParallelConfig {
+  /// 8 keeps subproblems spanning fewer than 8 levels sequential — fine
+  /// enough to feed thieves on every model in the corpus, coarse enough
+  /// that leaf recursion dominates task bookkeeping.
+  static constexpr std::uint32_t kDefaultForkThreshold = 8;
+
+  /// Total worker threads for in-operation parallelism; 0 = serial
+  /// recursion (today's behavior).
+  std::size_t workers = 0;
+  /// Fork a cofactor split only when at least this many variable levels
+  /// remain below the split point: 0 = always fork, huge = never fork.
+  std::uint32_t fork_threshold = kDefaultForkThreshold;
 };
 
 /// RAII handle to a BDD edge. While at least one `Bdd` references a node,
@@ -442,8 +465,17 @@ class BddManager {
   /// points (gc, clear_cache, new_var, reordering, live_node_count)
   /// throw `std::logic_error`. Under `TableMode::kLockFree` the
   /// subtables are pre-sized here and the epoch never resizes them.
+  ///
+  /// `parallel.workers >= 1` additionally starts a work-stealing pool
+  /// for in-operation parallelism (bdd/parallel.h): `workers - 1`
+  /// helper threads register as shard threads (on top of
+  /// `max_threads`), steal forked cofactor subproblems, and are joined
+  /// by `end_shared`. The run's ambient RunGovernor (if any) is adopted
+  /// by the helpers, so deadlines and node budgets fire inside a
+  /// parallel operation with the usual structured exceptions.
   void begin_shared(std::size_t max_threads,
-                    TableMode table_mode = TableMode::kLockFree);
+                    TableMode table_mode = TableMode::kLockFree,
+                    const ParallelConfig& parallel = {});
 
   /// Leaves shared mode: merges the per-thread statistics, returns
   /// unused arena slots to the free list, and rebinds exclusive
@@ -499,6 +531,7 @@ class BddManager {
 
  private:
   friend class Bdd;
+  friend class ParallelPool;  ///< Dispatches stolen tasks into par_*_rec.
 
   // 16 bytes; the traversal stamps live in the per-thread contexts so
   // the hot recursion paths keep four nodes per cache line.
@@ -724,6 +757,25 @@ class BddManager {
   NodeIndex xor_rec(NodeIndex f, NodeIndex g);
   NodeIndex exists_rec(NodeIndex f, NodeIndex cube);
   NodeIndex and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube);
+
+  // Work-stealing variants of the cores above (bdd/parallel.cpp): same
+  // terminal rules, canonicalizations and cache keys, but cofactor
+  // splits above the granularity threshold fork one side as a stealable
+  // task. Entered only when `par_enabled()`.
+  NodeIndex par_ite_rec(NodeIndex f, NodeIndex g, NodeIndex h);
+  NodeIndex par_and_rec(NodeIndex f, NodeIndex g);
+  NodeIndex par_or_rec(NodeIndex f, NodeIndex g) {
+    return edge_not(par_and_rec(edge_not(f), edge_not(g)));
+  }
+  NodeIndex par_xor_rec(NodeIndex f, NodeIndex g);
+  NodeIndex par_exists_rec(NodeIndex f, NodeIndex cube);
+  NodeIndex par_and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube);
+  /// True when a shared epoch with a parallel pool is active.
+  bool par_enabled() const noexcept {
+    return shared_mode_ && par_pool_ != nullptr;
+  }
+  /// Fork when at least `fork_threshold` levels remain below the split.
+  bool par_should_fork(unsigned top_level) const noexcept;
   NodeIndex compose_rec(NodeIndex f, Var v, NodeIndex g, unsigned v_level);
   NodeIndex simplify_rec(NodeIndex f, NodeIndex care);
   NodeIndex permute_rec(ThreadCtx& tc, NodeIndex f,
@@ -771,11 +823,16 @@ class BddManager {
   // -- Shared-mode state -----------------------------------------------------
   ThreadCtx main_ctx_;          ///< Exclusive-mode traversal scratch.
   bool shared_mode_ = false;    ///< Set/cleared only from the owner thread.
-  std::uint64_t shared_epoch_ = 0;  ///< Bumped on every mode transition, so
-                                    ///< thread-local ctx caches can't leak
-                                    ///< across epochs.
+  std::uint64_t shared_epoch_ = 0;  ///< Fresh process-global token on every
+                                    ///< mode transition, so thread-local ctx
+                                    ///< caches can't leak across epochs — or
+                                    ///< across managers reusing an address.
   std::size_t shard_max_threads_ = 0;
   TableMode table_mode_ = TableMode::kLockFree;
+  /// Work-stealing pool for the current shared epoch (nullptr when the
+  /// epoch is serial-only). Created by `begin_shared`, stopped and
+  /// destroyed by `end_shared`.
+  std::unique_ptr<ParallelPool> par_pool_;
   std::vector<std::unique_ptr<ThreadCtx>> shard_ctxs_;
   std::mutex shard_reg_mu_;  ///< Guards `shard_ctxs_` (registration/lookup).
   std::mutex alloc_mu_;      ///< Guards pool growth + arena refills.

@@ -1,0 +1,571 @@
+// Work-stealing parallel apply: the ParallelPool scheduler and the
+// fork/join variants of the recursive cores (see parallel.h for the
+// memory-model and determinism contracts).
+//
+// The parallel cores below are line-for-line mirrors of the serial
+// recursions in bdd_ops.cpp — same terminal rules, same complement-bit
+// canonicalizations, same cache keys — with exactly one difference: at
+// a cofactor split above the granularity threshold, the low subproblem
+// is pushed onto the forking thread's deque while the high subproblem
+// runs inline, and the two meet at `join`. Everything funnels through
+// the shared-mode `make_node` and the lossy computed cache, so the
+// final edge of every subproblem is canonical and schedule-independent.
+//
+// Fully-strict discipline: a frame joins (or, on the unwind path,
+// abandons-and-waits-out) every task it forked before returning. Tasks
+// are therefore safely stack-allocated, the owner's deque behaves as a
+// stack mirroring the recursion (a successful own-pop at join *must*
+// return the frame's own task), and waits can only target tasks already
+// claimed by another thread — whose dependency chain follows the fork
+// tree and is acyclic, so spinning (with bounded-depth help-stealing)
+// cannot deadlock.
+#include "bdd/parallel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace covest::bdd {
+
+namespace {
+
+/// Polite spin: a pause/yield hint where the ISA has one.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Spin counts double up to this cap, then the waiter yields to the OS.
+constexpr unsigned kSpinCap = 1u << 10;
+/// A waiter may execute stolen tasks at most this many frames deep
+/// (each help level adds one full recursion tree to the stack).
+constexpr unsigned kMaxHelpDepth = 8;
+
+std::atomic<std::uint64_t> g_pool_ids{1};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParallelPool
+// ---------------------------------------------------------------------------
+
+ParallelPool::ParallelPool(BddManager& mgr, std::size_t helpers,
+                           std::uint32_t fork_threshold, std::size_t slots)
+    : mgr_(mgr),
+      helpers_(helpers),
+      fork_threshold_(fork_threshold),
+      pool_id_(g_pool_ids.fetch_add(1, std::memory_order_relaxed)) {
+  slots_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+ParallelPool::~ParallelPool() { stop_and_join(); }
+
+void ParallelPool::start() {
+  // Captured on the epoch-opening thread: sharded estimator threads and
+  // pool helpers then share one latched deadline.
+  governor_ = covest::RunGovernor::current();
+  threads_.reserve(helpers_);
+  for (std::size_t i = 0; i < helpers_; ++i) {
+    threads_.emplace_back([this] { helper_main(); });
+  }
+}
+
+void ParallelPool::stop_and_join() {
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& th : threads_) {
+    if (th.joinable()) th.join();
+  }
+  threads_.clear();
+}
+
+std::size_t ParallelPool::slot_index() {
+  // Lazily claimed, cached per (pool identity): an epoch's clients and
+  // helpers each take one deque on first use. Keying the cache on the
+  // process-unique pool id (not the pointer, which may be reused) keeps
+  // stale thread-locals from aliasing across epochs.
+  static thread_local const ParallelPool* cached_pool = nullptr;
+  static thread_local std::uint64_t cached_id = 0;
+  static thread_local std::size_t cached_slot = 0;
+  if (cached_pool == this && cached_id == pool_id_) return cached_slot;
+  const std::size_t s = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  if (s >= slots_.size()) {
+    throw std::logic_error(
+        "ParallelPool: more participating threads than registered slots");
+  }
+  cached_pool = this;
+  cached_id = pool_id_;
+  cached_slot = s;
+  return s;
+}
+
+ParallelTask* ParallelPool::try_steal(std::size_t self) noexcept {
+  const std::size_t n = slots_.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t victim = (self + i) % n;
+    if (ParallelTask* t = slots_[victim]->deque.steal()) return t;
+  }
+  return nullptr;
+}
+
+NodeIndex ParallelPool::evaluate(const ParallelTask& task) {
+  switch (task.kind) {
+    case ParallelTask::kAnd:
+      return mgr_.par_and_rec(task.a, task.b);
+    case ParallelTask::kXor:
+      return mgr_.par_xor_rec(task.a, task.b);
+    case ParallelTask::kIte:
+      return mgr_.par_ite_rec(task.a, task.b, task.c);
+    case ParallelTask::kExists:
+      return mgr_.par_exists_rec(task.a, task.b);
+    case ParallelTask::kAndExists:
+      return mgr_.par_and_exists_rec(task.a, task.b, task.c);
+  }
+  return kInvalidIndex;  // Unreachable for in-range kinds.
+}
+
+void ParallelPool::run_task(ParallelTask& task) noexcept {
+  try {
+    // The task boundary is the parallel recursion's governance point:
+    // deadline expiry and injected faults surface here as structured
+    // exceptions, published to the joiner like any other result.
+    covest::governor_tick();
+    task.result = evaluate(task);
+  } catch (...) {
+    task.error = std::current_exception();
+  }
+  task.state.store(ParallelTask::kDone, std::memory_order_release);
+}
+
+bool ParallelPool::try_fork(ParallelTask& task) {
+  return slots_[slot_index()]->deque.push(&task);
+}
+
+NodeIndex ParallelPool::join(ParallelTask& task) {
+  ParallelTask* popped = slots_[slot_index()]->deque.pop();
+  if (popped != nullptr) {
+    // Nobody stole it: the deque is a stack mirroring the recursion, so
+    // the pop must return this frame's own task. Evaluate inline; a
+    // thrown deadline/budget propagates directly (no other task of this
+    // frame is outstanding).
+    assert(popped == &task && "fork/join discipline violated");
+    (void)popped;
+    covest::governor_tick();
+    return evaluate(task);
+  }
+  wait_for(task);
+  if (task.error) std::rethrow_exception(task.error);
+  return task.result;
+}
+
+void ParallelPool::join_abandoned(ParallelTask& task) noexcept {
+  ParallelTask* popped = slots_[slot_index()]->deque.pop();
+  if (popped != nullptr) {
+    // Never claimed by a thief; discard so the frame can unwind.
+    assert(popped == &task && "fork/join discipline violated");
+    (void)popped;
+    return;
+  }
+  // Stolen: the thief will still write into the frame-owned task, so
+  // the frame must not unwind until it publishes. Result and error are
+  // both discarded — the sibling's exception wins.
+  wait_for(task);
+}
+
+void ParallelPool::wait_for(ParallelTask& task) noexcept {
+  static thread_local unsigned help_depth = 0;
+  const std::size_t self = slot_index();
+  unsigned spins = 1;
+  while (task.state.load(std::memory_order_acquire) != ParallelTask::kDone) {
+    // Help-steal while waiting (bounded depth: each level stacks a full
+    // recursion tree). Progress never depends on helping — the task we
+    // wait for is claimed by a thread whose waits-for chain follows the
+    // fork tree and terminates.
+    if (help_depth < kMaxHelpDepth) {
+      if (ParallelTask* other = try_steal(self)) {
+        ++help_depth;
+        run_task(*other);
+        --help_depth;
+        spins = 1;
+        continue;
+      }
+    }
+    for (unsigned i = 0; i < spins; ++i) cpu_relax();
+    if (spins < kSpinCap) {
+      spins <<= 1;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelPool::helper_main() {
+  try {
+    mgr_.register_shard_thread();
+  } catch (...) {
+    return;  // Registration capacity raced away: fewer thieves, still correct.
+  }
+  covest::RunGovernor::Scope scope(governor_);
+  const std::size_t self = slot_index();
+  unsigned spins = 1;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (ParallelTask* task = try_steal(self)) {
+      run_task(*task);
+      spins = 1;
+      continue;
+    }
+    // Exponential-backoff idle spin: double the pause up to the cap,
+    // then yield — idle helpers must not starve the client threads.
+    for (unsigned i = 0; i < spins; ++i) cpu_relax();
+    if (spins < kSpinCap) {
+      spins <<= 1;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel recursive cores
+// ---------------------------------------------------------------------------
+
+bool BddManager::par_should_fork(unsigned top_level) const noexcept {
+  // Levels remaining below the split, an O(1) proxy for subproblem
+  // size: 0 always forks, anything > num_vars() never does.
+  return static_cast<std::uint32_t>(num_vars()) - top_level >=
+         par_pool_->fork_threshold();
+}
+
+NodeIndex BddManager::par_and_rec(NodeIndex f, NodeIndex g) {
+  if (f == kFalseIndex || g == kFalseIndex) return kFalseIndex;
+  if (f == kTrueIndex) return g;
+  if (g == kTrueIndex) return f;
+  if (f == g) return f;
+  if (f == edge_not(g)) return kFalseIndex;
+
+  if (f > g) std::swap(f, g);
+
+  NodeIndex cached;
+  if (cache_find(kOpAnd, f, g, 0, &cached)) return cached;
+
+  const unsigned lf = level(f), lg = level(g);
+  const unsigned top = std::min(lf, lg);
+  const Var v = level_to_var_[top];
+
+  const NodeIndex f0 = lf == top ? node_low(f) : f;
+  const NodeIndex f1 = lf == top ? node_high(f) : f;
+  const NodeIndex g0 = lg == top ? node_low(g) : g;
+  const NodeIndex g1 = lg == top ? node_high(g) : g;
+
+  NodeIndex low, high;
+  if (par_should_fork(top)) {
+    ParallelTask task(ParallelTask::kAnd, f0, g0, 0);
+    if (par_pool_->try_fork(task)) {
+      try {
+        high = par_and_rec(f1, g1);
+      } catch (...) {
+        par_pool_->join_abandoned(task);
+        throw;
+      }
+      low = par_pool_->join(task);
+    } else {
+      low = par_and_rec(f0, g0);
+      high = par_and_rec(f1, g1);
+    }
+  } else {
+    // Below the granularity threshold the serial core finishes the
+    // whole subtree — no task bookkeeping on the fine-grained leaves.
+    low = and_rec(f0, g0);
+    high = and_rec(f1, g1);
+  }
+  const NodeIndex result = make_node(v, low, high);
+  cache_store(kOpAnd, f, g, 0, result);
+  return result;
+}
+
+NodeIndex BddManager::par_xor_rec(NodeIndex f, NodeIndex g) {
+  NodeIndex parity = 0;
+  parity ^= f & kComplementBit;
+  parity ^= g & kComplementBit;
+  f = edge_node(f);
+  g = edge_node(g);
+
+  if (f == g) return kFalseIndex ^ parity;
+  if (f == kTrueIndex) return edge_not(g) ^ parity;
+  if (g == kTrueIndex) return edge_not(f) ^ parity;
+
+  if (f > g) std::swap(f, g);
+
+  NodeIndex cached;
+  if (cache_find(kOpXor, f, g, 0, &cached)) return cached ^ parity;
+
+  const unsigned lf = level(f), lg = level(g);
+  const unsigned top = std::min(lf, lg);
+  const Var v = level_to_var_[top];
+
+  const NodeIndex f0 = lf == top ? node_low(f) : f;
+  const NodeIndex f1 = lf == top ? node_high(f) : f;
+  const NodeIndex g0 = lg == top ? node_low(g) : g;
+  const NodeIndex g1 = lg == top ? node_high(g) : g;
+
+  NodeIndex low, high;
+  if (par_should_fork(top)) {
+    ParallelTask task(ParallelTask::kXor, f0, g0, 0);
+    if (par_pool_->try_fork(task)) {
+      try {
+        high = par_xor_rec(f1, g1);
+      } catch (...) {
+        par_pool_->join_abandoned(task);
+        throw;
+      }
+      low = par_pool_->join(task);
+    } else {
+      low = par_xor_rec(f0, g0);
+      high = par_xor_rec(f1, g1);
+    }
+  } else {
+    low = xor_rec(f0, g0);
+    high = xor_rec(f1, g1);
+  }
+  const NodeIndex result = make_node(v, low, high);
+  cache_store(kOpXor, f, g, 0, result);
+  return result ^ parity;
+}
+
+NodeIndex BddManager::par_ite_rec(NodeIndex f, NodeIndex g, NodeIndex h) {
+  if (f == kTrueIndex) return g;
+  if (f == kFalseIndex) return h;
+  if (g == h) return g;
+  if (g == kTrueIndex && h == kFalseIndex) return f;
+  if (g == kFalseIndex && h == kTrueIndex) return edge_not(f);
+
+  if (g == f) g = kTrueIndex;
+  if (g == edge_not(f)) g = kFalseIndex;
+  if (h == f) h = kFalseIndex;
+  if (h == edge_not(f)) h = kTrueIndex;
+  if (g == h) return g;
+  if (g == kTrueIndex && h == kFalseIndex) return f;
+  if (g == kFalseIndex && h == kTrueIndex) return edge_not(f);
+
+  // Constant-branch triples route into the shared AND/XOR caches,
+  // exactly like the serial core — via the parallel variants.
+  if (g == kTrueIndex) return par_or_rec(f, h);
+  if (g == kFalseIndex) return par_and_rec(edge_not(f), h);
+  if (h == kFalseIndex) return par_and_rec(f, g);
+  if (h == kTrueIndex) return edge_not(par_and_rec(f, edge_not(g)));
+  if (g == edge_not(h)) return edge_not(par_xor_rec(f, g));
+
+  if (edge_is_complemented(f)) {
+    f = edge_not(f);
+    std::swap(g, h);
+  }
+  NodeIndex out_parity = 0;
+  if (edge_is_complemented(g)) {
+    g = edge_not(g);
+    h = edge_not(h);
+    out_parity = kComplementBit;
+  }
+
+  NodeIndex cached;
+  if (cache_find(kOpIte, f, g, h, &cached)) return cached ^ out_parity;
+
+  const unsigned lf = level(f), lg = level(g), lh = level(h);
+  const unsigned top = std::min(lf, std::min(lg, lh));
+  const Var v = level_to_var_[top];
+
+  const NodeIndex f0 = lf == top ? node_low(f) : f;
+  const NodeIndex f1 = lf == top ? node_high(f) : f;
+  const NodeIndex g0 = lg == top ? node_low(g) : g;
+  const NodeIndex g1 = lg == top ? node_high(g) : g;
+  const NodeIndex h0 = lh == top ? node_low(h) : h;
+  const NodeIndex h1 = lh == top ? node_high(h) : h;
+
+  NodeIndex low, high;
+  if (par_should_fork(top)) {
+    ParallelTask task(ParallelTask::kIte, f0, g0, h0);
+    if (par_pool_->try_fork(task)) {
+      try {
+        high = par_ite_rec(f1, g1, h1);
+      } catch (...) {
+        par_pool_->join_abandoned(task);
+        throw;
+      }
+      low = par_pool_->join(task);
+    } else {
+      low = par_ite_rec(f0, g0, h0);
+      high = par_ite_rec(f1, g1, h1);
+    }
+  } else {
+    low = ite_rec(f0, g0, h0);
+    high = ite_rec(f1, g1, h1);
+  }
+  const NodeIndex result = make_node(v, low, high);
+  cache_store(kOpIte, f, g, h, result);
+  return result ^ out_parity;
+}
+
+NodeIndex BddManager::par_exists_rec(NodeIndex f, NodeIndex cube) {
+  if (edge_is_terminal(f)) return f;
+  const unsigned lf = level(f);
+  while (!edge_is_terminal(cube) && level(cube) < lf) {
+    cube = node_at(edge_node(cube)).high;  // Positive cube: high is plain.
+  }
+  if (edge_is_terminal(cube)) return f;
+
+  NodeIndex cached;
+  if (cache_find(kOpExists, f, cube, 0, &cached)) return cached;
+
+  const NodeIndex f0 = node_low(f);
+  const NodeIndex f1 = node_high(f);
+  NodeIndex result;
+  if (level(cube) == lf) {
+    const NodeIndex rest = node_at(edge_node(cube)).high;
+    NodeIndex low, high = kInvalidIndex;
+    bool have_high = false;
+    if (par_should_fork(lf)) {
+      ParallelTask task(ParallelTask::kExists, f0, rest, 0);
+      if (par_pool_->try_fork(task)) {
+        // Forking trades the serial early-termination (low == true
+        // skips the high branch) for parallelism; the disjunction is
+        // canonical either way, so the result is still byte-identical.
+        try {
+          high = par_exists_rec(f1, rest);
+        } catch (...) {
+          par_pool_->join_abandoned(task);
+          throw;
+        }
+        low = par_pool_->join(task);
+        have_high = true;
+      } else {
+        low = par_exists_rec(f0, rest);
+      }
+    } else {
+      low = exists_rec(f0, rest);
+    }
+    if (low == kTrueIndex) {
+      result = kTrueIndex;  // OR with anything is true.
+    } else {
+      if (!have_high) {
+        high = par_should_fork(lf) ? par_exists_rec(f1, rest)
+                                   : exists_rec(f1, rest);
+      }
+      result = par_should_fork(lf) ? par_or_rec(low, high)
+                                   : or_rec(low, high);
+    }
+  } else {
+    NodeIndex low, high;
+    if (par_should_fork(lf)) {
+      ParallelTask task(ParallelTask::kExists, f0, cube, 0);
+      if (par_pool_->try_fork(task)) {
+        try {
+          high = par_exists_rec(f1, cube);
+        } catch (...) {
+          par_pool_->join_abandoned(task);
+          throw;
+        }
+        low = par_pool_->join(task);
+      } else {
+        low = par_exists_rec(f0, cube);
+        high = par_exists_rec(f1, cube);
+      }
+    } else {
+      low = exists_rec(f0, cube);
+      high = exists_rec(f1, cube);
+    }
+    result = make_node(node_var(f), low, high);
+  }
+  cache_store(kOpExists, f, cube, 0, result);
+  return result;
+}
+
+NodeIndex BddManager::par_and_exists_rec(NodeIndex f, NodeIndex g,
+                                         NodeIndex cube) {
+  if (f == kFalseIndex || g == kFalseIndex) return kFalseIndex;
+  if (f == edge_not(g)) return kFalseIndex;
+  if (f == kTrueIndex || f == g) return par_exists_rec(g, cube);
+  if (g == kTrueIndex) return par_exists_rec(f, cube);
+  if (edge_is_terminal(cube)) return par_and_rec(f, g);
+
+  if (f > g) std::swap(f, g);  // AND is commutative.
+
+  const unsigned lf = level(f), lg = level(g);
+  const unsigned top = std::min(lf, lg);
+  while (!edge_is_terminal(cube) && level(cube) < top) {
+    cube = node_at(edge_node(cube)).high;
+  }
+  if (edge_is_terminal(cube)) return par_and_rec(f, g);
+
+  NodeIndex cached;
+  if (cache_find(kOpAndExists, f, g, cube, &cached)) return cached;
+
+  const Var v = level_to_var_[top];
+  const NodeIndex f0 = lf == top ? node_low(f) : f;
+  const NodeIndex f1 = lf == top ? node_high(f) : f;
+  const NodeIndex g0 = lg == top ? node_low(g) : g;
+  const NodeIndex g1 = lg == top ? node_high(g) : g;
+
+  const bool fork_here = par_should_fork(top);
+  NodeIndex result;
+  if (level(cube) == top) {
+    const NodeIndex rest = node_at(edge_node(cube)).high;
+    NodeIndex low, high = kInvalidIndex;
+    bool have_high = false;
+    if (fork_here) {
+      ParallelTask task(ParallelTask::kAndExists, f0, g0, rest);
+      if (par_pool_->try_fork(task)) {
+        try {
+          high = par_and_exists_rec(f1, g1, rest);
+        } catch (...) {
+          par_pool_->join_abandoned(task);
+          throw;
+        }
+        low = par_pool_->join(task);
+        have_high = true;
+      } else {
+        low = par_and_exists_rec(f0, g0, rest);
+      }
+    } else {
+      low = and_exists_rec(f0, g0, rest);
+    }
+    if (low == kTrueIndex) {
+      result = kTrueIndex;  // OR with anything is true.
+    } else {
+      if (!have_high) {
+        high = fork_here ? par_and_exists_rec(f1, g1, rest)
+                         : and_exists_rec(f1, g1, rest);
+      }
+      result = fork_here ? par_or_rec(low, high) : or_rec(low, high);
+    }
+  } else {
+    NodeIndex low, high;
+    if (fork_here) {
+      ParallelTask task(ParallelTask::kAndExists, f0, g0, cube);
+      if (par_pool_->try_fork(task)) {
+        try {
+          high = par_and_exists_rec(f1, g1, cube);
+        } catch (...) {
+          par_pool_->join_abandoned(task);
+          throw;
+        }
+        low = par_pool_->join(task);
+      } else {
+        low = par_and_exists_rec(f0, g0, cube);
+        high = par_and_exists_rec(f1, g1, cube);
+      }
+    } else {
+      low = and_exists_rec(f0, g0, cube);
+      high = and_exists_rec(f1, g1, cube);
+    }
+    result = make_node(v, low, high);
+  }
+  cache_store(kOpAndExists, f, g, cube, result);
+  return result;
+}
+
+}  // namespace covest::bdd

@@ -1,0 +1,227 @@
+// Work-stealing fork/join parallelism *inside* a single BDD operation
+// (Sylvan-style), layered on the shared-mode substrate from PR 5: the
+// lock-free CAS-chained unique table and the wait-free seqlock computed
+// cache already make `make_node` / `cache_find` / `cache_store` safe
+// from any registered thread, so a parallel apply needs no new
+// synchronization on the node store at all — only a way to distribute
+// cofactor subproblems across threads.
+//
+// The scheduler is a Chase–Lev work-stealing deque per participating
+// thread (the C11-atomics formulation from Lê, Pop, Cohen & Nardelli,
+// "Correct and Efficient Work-Stealing for Weak Memory Models"):
+//
+//   * The owner pushes and pops at the bottom end with no atomic RMW on
+//     the common path; thieves CAS `top_` to claim the oldest task.
+//   * Tasks are *stack-allocated in the forking frame* and joined
+//     before that frame returns (fully strict fork/join), so the deque
+//     never owns memory and there is no reclamation problem.
+//   * The ring is fixed-capacity: when `push` reports full, the forker
+//     simply evaluates the subproblem inline — a load-shedding fallback
+//     that keeps the deque growth-free.
+//
+// Determinism: every parallel recursion builds results exclusively
+// through `make_node` (canonical, hash-consed) and the lossy computed
+// cache, exactly like the serial cores. Canonicity makes the final
+// edge independent of the schedule, so parallel results are
+// byte-identical to the serial path by construction — the determinism
+// battery in tests/parallel_apply_test.cpp pins this at every worker
+// count, both table modes, and both granularity-threshold extremes.
+//
+// Governance: `governor_tick()` runs at every task boundary (steal-side
+// and inline-join side). This also closes the PR-6 blind spot where a
+// single enormous conjunction could blow past `deadline_ms` unboundedly
+// because ticks only fired at fix-point loop heads: with forking
+// enabled, a deep apply now observes the deadline mid-operation and
+// surfaces the usual structured DeadlineExceeded/ResourceExhausted.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "util/governance.h"
+
+namespace covest::bdd {
+
+/// One forked cofactor subproblem, stack-allocated in the forking frame
+/// and joined before the frame returns. `state_` is the only
+/// owner/thief rendezvous: the executor (whoever dequeued the task)
+/// publishes `result`/`error` and then stores kDone with release; the
+/// joiner spins with acquire loads.
+struct ParallelTask {
+  enum Kind : std::uint8_t { kAnd, kXor, kIte, kExists, kAndExists };
+  enum : int { kPending = 0, kDone = 1 };
+
+  ParallelTask(Kind kind, NodeIndex a, NodeIndex b, NodeIndex c) noexcept
+      : kind(kind), a(a), b(b), c(c) {}
+
+  Kind kind;
+  NodeIndex a;
+  NodeIndex b;
+  NodeIndex c;
+  NodeIndex result = kInvalidIndex;
+  std::exception_ptr error;
+  std::atomic<int> state{kPending};
+};
+
+/// Fixed-capacity Chase–Lev deque. Owner: `push`/`pop` at the bottom;
+/// thieves: `steal` at the top. All cells are atomic pointers; tasks
+/// outlive their deque residency by the fully-strict join discipline.
+class TaskDeque {
+ public:
+  TaskDeque() : cells_(kCapacity) {}
+
+  // The orderings below are the operation-based (fence-free) spelling
+  // of the Lê et al. protocol: the cell store/load pair carries the
+  // task-publication happens-before (release -> acquire), and the
+  // seq_cst operations on top_/bottom_ provide the store-load ordering
+  // the paper gets from explicit seq_cst fences. Equivalent under the
+  // C++ memory model, but visible to ThreadSanitizer — TSan does not
+  // model std::atomic_thread_fence, so the fence formulation reports
+  // false races on every published task field.
+
+  /// Owner-only. False when the ring is full (caller runs the task
+  /// inline instead — never blocks, never grows).
+  bool push(ParallelTask* task) noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+    // Publishes the task fields: a thief's acquire load of this cell
+    // sees the fully-constructed task.
+    cells_[static_cast<std::size_t>(b) & kMask].store(
+        task, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner-only. Nullptr when empty or when a thief won the race for
+  /// the last task — either way the owner's task is (being) stolen.
+  ParallelTask* pop() noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // seq_cst store/load: the decrement must be globally visible before
+    // top is read, or a thief and the owner could both claim the last
+    // task.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    ParallelTask* task = nullptr;
+    if (t <= b) {
+      task = cells_[static_cast<std::size_t>(b) & kMask].load(
+          std::memory_order_acquire);
+      if (t == b) {
+        // Last task: race the thieves for it via the top CAS.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          task = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  /// Thief-side. Nullptr when empty or the claim CAS lost. A successful
+  /// CAS transfers exclusive execution rights: `top_` is monotonic and
+  /// a cell is only reused after `top_` has moved past it, so a stale
+  /// read can never satisfy the CAS.
+  ParallelTask* steal() noexcept {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    ParallelTask* task = cells_[static_cast<std::size_t>(t) & kMask].load(
+        std::memory_order_acquire);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return task;
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = std::size_t{1} << 13;
+  static constexpr std::size_t kMask = kCapacity - 1;
+
+  // Padded apart: bottom_ is owner-hot, top_ is thief-hot.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<ParallelTask*>> cells_;
+};
+
+/// The per-epoch scheduler: one deque per participating thread (client
+/// shard threads and pool helpers alike, slots claimed lazily on first
+/// fork), plus `workers - 1` helper threads that register as shard
+/// threads and steal until the epoch ends. Owned by BddManager for the
+/// duration of one shared epoch; `begin_shared` starts it after the
+/// epoch is open, `end_shared` stops and joins it before teardown.
+class ParallelPool {
+ public:
+  /// `helpers` extra threads (0 for workers=1: the forking machinery
+  /// still runs, single-threaded) over `slots` total participants.
+  ParallelPool(BddManager& mgr, std::size_t helpers,
+               std::uint32_t fork_threshold, std::size_t slots);
+  ~ParallelPool();
+
+  ParallelPool(const ParallelPool&) = delete;
+  ParallelPool& operator=(const ParallelPool&) = delete;
+
+  /// Spawns the helper threads. Call with the epoch open (helpers
+  /// register as shard threads) and the run's governor installed on the
+  /// calling thread — helpers adopt it, so deadline expiry latches
+  /// across the whole pool.
+  void start();
+
+  /// Signals stop and joins every helper. Safe to call repeatedly; the
+  /// caller guarantees no client operation is still in flight.
+  void stop_and_join();
+
+  std::uint32_t fork_threshold() const noexcept { return fork_threshold_; }
+
+  /// Enqueues `task` on the calling thread's deque. False = ring full;
+  /// the caller evaluates inline.
+  bool try_fork(ParallelTask& task);
+
+  /// Joins a forked task: if our own pop gets it back (nobody stole
+  /// it), evaluates inline on this thread; otherwise helps by stealing
+  /// other tasks (bounded depth) until the thief publishes, then
+  /// returns the published result or rethrows the published error.
+  NodeIndex join(ParallelTask& task);
+
+  /// Join for the unwind path: the sibling subproblem threw while
+  /// `task` was outstanding. Reclaims it (own pop) or waits out the
+  /// thief, discarding result and error, so the frame-owned task can
+  /// leave scope.
+  void join_abandoned(ParallelTask& task) noexcept;
+
+ private:
+  struct Slot {
+    TaskDeque deque;
+  };
+
+  std::size_t slot_index();
+  ParallelTask* try_steal(std::size_t self) noexcept;
+  /// Executes a dequeued task, publishing result/error + kDone.
+  void run_task(ParallelTask& task) noexcept;
+  NodeIndex evaluate(const ParallelTask& task);
+  void wait_for(ParallelTask& task) noexcept;
+  void helper_main();
+
+  BddManager& mgr_;
+  const std::size_t helpers_;
+  const std::uint32_t fork_threshold_;
+  const std::uint64_t pool_id_;
+  covest::RunGovernor* governor_ = nullptr;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::size_t> next_slot_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace covest::bdd

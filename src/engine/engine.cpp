@@ -111,6 +111,48 @@ core::CoverageOptions lenient(core::CoverageOptions options) {
   return options;
 }
 
+/// Opens a shared epoch with a work-stealing pool (bdd/parallel.h) for
+/// one phase when the request asks for in-operation parallelism, and
+/// registers the calling thread as its single client. The epoch must be
+/// closed — `close()` explicitly, or destruction on the unwind path —
+/// before any snapshot: `live_node_count` is exclusive-only. No-op when
+/// `parallel_apply` is 0 or the manager is already shared (the sharded
+/// fan-out passes its own ParallelConfig to begin_shared instead).
+class ParallelPhase {
+ public:
+  ParallelPhase(bdd::BddManager& mgr, const CoverageRequest& request) {
+    if (request.options.parallel_apply >= 1 && !mgr.in_shared_mode()) {
+      bdd::ParallelConfig par;
+      par.workers = request.options.parallel_apply;
+      mgr.begin_shared(1, request.table_mode, par);
+      mgr.register_shard_thread();
+      mgr_ = &mgr;
+    }
+  }
+  ~ParallelPhase() { close(); }
+  ParallelPhase(const ParallelPhase&) = delete;
+  ParallelPhase& operator=(const ParallelPhase&) = delete;
+
+  void close() {
+    if (mgr_ != nullptr) {
+      mgr_->end_shared();
+      mgr_ = nullptr;
+    }
+  }
+
+ private:
+  bdd::BddManager* mgr_ = nullptr;
+};
+
+/// The sharded fan-out's epoch configuration: estimator threads are the
+/// clients; `parallel_apply` workers' worth of helpers steal from all
+/// of them through one pool.
+bdd::ParallelConfig parallel_config(const CoverageRequest& request) {
+  bdd::ParallelConfig par;
+  par.workers = request.options.parallel_apply;
+  return par;
+}
+
 /// Structural hash of a resolved suite — the key of the session's
 /// verified-suite record. Everything a cold verify phase bakes into its
 /// artifacts participates: the raw CTL text (PropertyResult::ctl_text
@@ -299,6 +341,10 @@ SuiteResult Session::run(const CoverageRequest& request,
   } else {
     const auto t_verify = Clock::now();
     try {
+      // Model checking routes through the same apply/exists kernels as
+      // estimation, so the phase parallelizes the same way. The epoch
+      // closes (unwind or scope exit) before any snap().
+      ParallelPhase par(fsm_.mgr(), request);
       for (std::size_t i = 0; i < specs.size(); ++i) {
         governor->tick();  // Phase-boundary deadline check.
         const auto t_prop = Clock::now();
@@ -324,6 +370,7 @@ SuiteResult Session::run(const CoverageRequest& request,
         p.item = result.properties.back().ctl_text;
         p.ok = check.holds;
         if (!progress(p)) {
+          par.close();  // snapshot() needs the manager exclusive.
           result.cancelled = true;
           result.status = ResultStatus::kCancelled;
           result.verify = snap(ms_since(t_verify));
@@ -360,6 +407,7 @@ SuiteResult Session::run(const CoverageRequest& request,
   // to the estimate phase it gates.
   const auto t_estimate = Clock::now();
   try {
+    ParallelPhase par(fsm_.mgr(), request);
     if (!reachable_count_) {
       reachable_count_ =
           fsm_.count_states(fsm_.reachable(fsm_.initial_states()));
@@ -379,8 +427,11 @@ SuiteResult Session::run(const CoverageRequest& request,
 
   const std::size_t fan_out = effective_shards(request.shards, names.size());
   if (fan_out <= 1) {
-    // Serial estimation: one row at a time on the calling thread.
+    // Serial estimation: one row at a time on the calling thread. With
+    // parallel_apply the rows still run in request order — only each
+    // row's BDD operations fan out to the pool.
     try {
+      ParallelPhase par(fsm_.mgr(), request);
       for (std::size_t i = 0; i < names.size(); ++i) {
         governor->tick();  // Per-row deadline check.
         SignalRow row = estimate_row(request, names[i], specs, formulas,
@@ -394,6 +445,7 @@ SuiteResult Session::run(const CoverageRequest& request,
         p.percent = row.percent;
         result.signals.push_back(std::move(row));
         if (!progress(p)) {
+          par.close();  // snapshot() needs the manager exclusive.
           result.cancelled = true;
           result.status = ResultStatus::kCancelled;
           result.estimate = snap(ms_since(t_estimate));
@@ -425,7 +477,9 @@ SuiteResult Session::run(const CoverageRequest& request,
     std::vector<std::exception_ptr> failures(fan_out);
     std::atomic<bool> stop{false};
     std::atomic<bool> cancelled{false};
-    mgr.begin_shared(fan_out, request.table_mode);
+    // With parallel_apply the estimator threads are the epoch's clients
+    // and the pool's helpers steal from all of them at once.
+    mgr.begin_shared(fan_out, request.table_mode, parallel_config(request));
     {
       std::vector<std::thread> estimators;
       estimators.reserve(fan_out);

@@ -62,12 +62,14 @@ std::string ndjson_dirname(const std::string& path);
 // ---------------------------------------------------------------------------
 
 /// Driver-level knobs applied to every parsed request line — the
-/// `--shards/--deadline-ms/--max-nodes/--table-mode/--image-strategy`
-/// flags both binaries accept.
+/// `--shards/--deadline-ms/--max-nodes/--table-mode/--image-strategy/
+/// --parallel-apply` flags both binaries accept.
 struct RequestDefaults {
   std::size_t shards = 0;       ///< 0 = leave the request's own value.
   std::size_t deadline_ms = 0;  ///< 0 = leave the request's own value.
   std::size_t max_nodes = 0;    ///< 0 = leave the request's own value.
+  /// In-operation parallel-apply workers; 0 = leave the request's value.
+  std::size_t parallel_apply = 0;
   std::optional<bdd::TableMode> table_mode;  ///< Unset = per-request value.
   /// Unset = per-request value.
   std::optional<image::ImageStrategy> image_strategy;

@@ -49,6 +49,10 @@ std::uint64_t SessionCache::key_of(const std::string& source,
       (options.exclude_dontcares ? 2u : 0u) |
       (options.require_holds ? 4u : 0u) |
       (static_cast<unsigned>(options.image_strategy) << 3));
+  // Parallel-apply sessions keyed apart: a lease's epochs spawn worker
+  // pools, and mixing the worker count keeps warm replays of a request
+  // shape on a session with the same shape.
+  mix(options.parallel_apply);
   mix(max_live_nodes);
   return h;
 }

@@ -1,0 +1,272 @@
+// Determinism battery for the work-stealing parallel apply kernels
+// (bdd/parallel.h): every parallel operation — AND, XOR, ITE, exists,
+// and_exists, and the reachability fix-points built from them — must be
+// edge-for-edge identical to an exclusive-mode recomputation, at every
+// worker count, under both table modes, because every result path runs
+// through the same canonicalizing make_node. Also pins the governance
+// contract inside parallel recursion: a deadline reaches a deep single
+// apply through the task-boundary ticks (the blind spot serial apply
+// still has), and the manager recovers cleanly afterwards. Built for
+// the sanitizer CI matrix: every assertion runs under TSan and
+// ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "circuits/circuits.h"
+#include "fsm/symbolic_fsm.h"
+#include "model/model_parser.h"
+#include "util/governance.h"
+
+namespace covest {
+namespace {
+
+using bdd::Bdd;
+using bdd::BddManager;
+using bdd::ParallelConfig;
+using bdd::TableMode;
+
+constexpr const char* kModels[] = {"counter.cov", "arbiter.cov",
+                                   "handshake.cov", "shift.cov",
+                                   "traffic.cov"};
+
+std::string model_path(const char* name) {
+  return std::string(COVEST_SOURCE_DIR) + "/examples/models/" + name;
+}
+
+/// One result per parallel entry point, plus the fix-point that chains
+/// them. Handles stay valid across epochs (no gc runs between).
+struct Battery {
+  Bdd conj;        ///< apply_and
+  Bdd parity;      ///< apply_xor
+  Bdd mux;         ///< apply_ite
+  Bdd projected;   ///< exists
+  Bdd rel_prod;    ///< and_exists
+  Bdd reachable;   ///< the fix-point built from all of the above
+};
+
+/// Runs every operation the parallel kernels cover, on operands derived
+/// from the FSM's own transition parts — real model structure, not toy
+/// formulas, so the recursions are deep enough to fork.
+Battery run_battery(fsm::SymbolicFsm& fsm) {
+  BddManager& mgr = fsm.mgr();
+  const std::vector<Bdd>& parts = fsm.transition_parts();
+  Bdd a = mgr.bdd_true();
+  Bdd b = mgr.bdd_true();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    (i % 2 == 0 ? a : b) &= parts[i];
+  }
+  Bdd cube = mgr.bdd_true();
+  for (const bdd::Var v : fsm.next_vars()) cube &= mgr.var(v);
+
+  Battery out;
+  out.conj = mgr.apply_and(a, b);
+  out.parity = mgr.apply_xor(a, b);
+  out.mux = mgr.apply_ite(fsm.initial_states(), a, b);
+  out.projected = mgr.exists(out.conj, cube);
+  out.rel_prod = mgr.and_exists(a, b, cube);
+  out.reachable = fsm.reachable(fsm.initial_states());
+  return out;
+}
+
+/// The same battery inside a parallel shared epoch. The computed cache
+/// is cleared first so every recursion genuinely re-runs through the
+/// parallel kernels instead of replaying exclusive-mode cache hits.
+Battery run_parallel(fsm::SymbolicFsm& fsm, std::size_t workers,
+                     TableMode mode,
+                     std::uint32_t threshold =
+                         ParallelConfig::kDefaultForkThreshold) {
+  BddManager& mgr = fsm.mgr();
+  mgr.clear_cache();
+  ParallelConfig par;
+  par.workers = workers;
+  par.fork_threshold = threshold;
+  mgr.begin_shared(1, mode, par);
+  mgr.register_shard_thread();
+  Battery out = run_battery(fsm);
+  mgr.end_shared();
+  return out;
+}
+
+void expect_identical(const Battery& got, const Battery& want,
+                      const std::string& label) {
+  EXPECT_EQ(got.conj, want.conj) << label << ": and";
+  EXPECT_EQ(got.parity, want.parity) << label << ": xor";
+  EXPECT_EQ(got.mux, want.mux) << label << ": ite";
+  EXPECT_EQ(got.projected, want.projected) << label << ": exists";
+  EXPECT_EQ(got.rel_prod, want.rel_prod) << label << ": and_exists";
+  EXPECT_EQ(got.reachable, want.reachable) << label << ": reachable";
+}
+
+// --------------------------------------------------------------------------
+// Every op, every worker count, both table modes, all five models
+// --------------------------------------------------------------------------
+
+TEST(ParallelApplyTest, ExampleModelsByteIdenticalAtEveryWorkerCount) {
+  for (const char* name : kModels) {
+    SCOPED_TRACE(name);
+    fsm::SymbolicFsm fsm(model::parse_model_file(model_path(name)));
+    const Battery baseline = run_battery(fsm);
+    for (const TableMode mode : {TableMode::kLockFree, TableMode::kStriped}) {
+      for (const std::size_t workers : {1u, 2u, 4u}) {
+        const std::string label =
+            std::string(name) + " workers=" + std::to_string(workers) +
+            (mode == TableMode::kStriped ? " striped" : " lockfree");
+        expect_identical(run_parallel(fsm, workers, mode), baseline, label);
+      }
+    }
+    EXPECT_TRUE(fsm.mgr().check_canonical()) << name;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Token ring: recursions deep enough that forking actually happens
+// --------------------------------------------------------------------------
+
+TEST(ParallelApplyTest, TokenRingByteIdenticalAcrossWorkerCounts) {
+  for (const unsigned cells : {16u, 24u}) {
+    SCOPED_TRACE(cells);
+    circuits::TokenRingSpec spec;
+    spec.cells = cells;
+    fsm::SymbolicFsm fsm(circuits::make_token_ring(spec));
+    const Battery baseline = run_battery(fsm);
+    for (const std::size_t workers : {1u, 2u, 4u}) {
+      expect_identical(
+          run_parallel(fsm, workers, TableMode::kLockFree), baseline,
+          "cells=" + std::to_string(cells) +
+              " workers=" + std::to_string(workers));
+    }
+    EXPECT_TRUE(fsm.mgr().check_canonical());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Threshold edges: 0 = fork every split, huge = never fork
+// --------------------------------------------------------------------------
+
+TEST(ParallelApplyTest, ThresholdEdgeCasesAgreeByteForByte) {
+  circuits::TokenRingSpec spec;
+  spec.cells = 16;
+  fsm::SymbolicFsm fsm(circuits::make_token_ring(spec));
+  const Battery baseline = run_battery(fsm);
+  // threshold 0 forks at every internal split (maximal task pressure,
+  // exercising the deque-full inline fallback); a huge threshold never
+  // forks (the pool idles; recursion runs the par_* mirrors serially).
+  expect_identical(run_parallel(fsm, 4, TableMode::kLockFree, 0), baseline,
+                   "threshold=0");
+  expect_identical(run_parallel(fsm, 4, TableMode::kLockFree, 0xffffffffu),
+                   baseline, "threshold=max");
+  EXPECT_TRUE(fsm.mgr().check_canonical());
+}
+
+// --------------------------------------------------------------------------
+// Repeated epochs plateau: the pool does not grow across re-runs
+// --------------------------------------------------------------------------
+
+TEST(ParallelApplyTest, RepeatedEpochsDoNotGrowThePool) {
+  circuits::TokenRingSpec spec;
+  spec.cells = 16;
+  fsm::SymbolicFsm fsm(circuits::make_token_ring(spec));
+  const Battery first = run_parallel(fsm, 4, TableMode::kLockFree);
+  const std::size_t after_first = fsm.mgr().stats().allocated_nodes;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    expect_identical(run_parallel(fsm, 4, TableMode::kLockFree), first,
+                     "epoch " + std::to_string(epoch));
+  }
+  // Every recomputation canonicalizes onto already-allocated nodes. The
+  // small slack tolerates schedule-dependent speculative subresults in
+  // forked quantified branches (computed-then-unused, still canonical).
+  EXPECT_LE(fsm.mgr().stats().allocated_nodes, after_first + 512);
+}
+
+// --------------------------------------------------------------------------
+// Manager churn: destroying a manager and creating a new one (commonly
+// at the same heap address) must not alias thread-local ctx caches
+// --------------------------------------------------------------------------
+
+// Regression: the per-thread shard-ctx cache was keyed on (manager
+// address, per-manager epoch counter). A new manager allocated at a
+// dead manager's address false-hit once its counter climbed back to
+// the cached value, returning a ThreadCtx* into freed memory. The
+// epoch token is process-global now; this loop is the use-after-free
+// reproducer (each round's first epoch collided with the previous
+// round's cached epoch), kept hot for ASan/TSan.
+TEST(ParallelApplyTest, ManagerChurnDoesNotAliasThreadCtxCaches) {
+  for (int round = 0; round < 4; ++round) {
+    SCOPED_TRACE(round);
+    circuits::TokenRingSpec spec;
+    spec.cells = 8;
+    auto fsm = std::make_unique<fsm::SymbolicFsm>(
+        circuits::make_token_ring(spec));
+    const Battery baseline = run_battery(*fsm);
+    expect_identical(run_parallel(*fsm, 2, TableMode::kLockFree), baseline,
+                     "round " + std::to_string(round));
+    EXPECT_TRUE(fsm->mgr().check_canonical());
+  }
+}
+
+// --------------------------------------------------------------------------
+// Governance: a deadline reaches *inside* one deep apply (the serial
+// blind spot), and the manager recovers cleanly afterwards
+// --------------------------------------------------------------------------
+
+TEST(ParallelApplyTest, DeadlineReachesInsideOneDeepParallelApply) {
+  circuits::TokenRingSpec spec;
+  spec.cells = 24;
+  fsm::SymbolicFsm fsm(circuits::make_token_ring(spec));
+  BddManager& mgr = fsm.mgr();
+  // Baseline (and the operand halves) before any governor exists —
+  // reachable() ticks at its loop heads and must not be cut short here.
+  const Battery baseline = run_battery(fsm);
+  const std::vector<Bdd>& parts = fsm.transition_parts();
+  Bdd a = mgr.bdd_true();
+  Bdd b = mgr.bdd_true();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    (i % 2 == 0 ? a : b) &= parts[i];
+  }
+
+  covest::RunGovernor governor(1);  // Expired before the apply starts.
+  covest::RunGovernor::Scope scope(&governor);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Serial apply has no interior ticks: even with the expired governor
+  // installed, one deep exclusive-mode apply runs to completion. This
+  // is the blind spot — only fix-point loop heads used to tick.
+  mgr.clear_cache();
+  EXPECT_EQ(mgr.apply_and(a, b), baseline.conj);
+
+  // The parallel kernels tick at every task boundary, so the same
+  // expired governor now stops the same single apply mid-recursion,
+  // promptly.
+  mgr.clear_cache();
+  ParallelConfig par;
+  par.workers = 2;
+  par.fork_threshold = 0;  // Fork (and tick) at every split.
+  mgr.begin_shared(1, TableMode::kLockFree, par);
+  mgr.register_shard_thread();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)mgr.apply_and(a, b), covest::DeadlineExceeded);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  mgr.end_shared();
+  // Generous bound (sanitizer builds are slow), but the point stands:
+  // the stop lands inside the apply, not after it finishes.
+  EXPECT_LT(elapsed.count(), 2000) << "deadline overshoot inside apply";
+
+  // Clean recovery on the same manager: a fresh epoch (and exclusive
+  // mode) still produce the canonical results.
+  covest::RunGovernor fresh(0);  // 0 = unlimited.
+  covest::RunGovernor::Scope fresh_scope(&fresh);
+  expect_identical(run_parallel(fsm, 2, TableMode::kLockFree), baseline,
+                   "post-deadline epoch");
+  EXPECT_TRUE(mgr.check_canonical());
+}
+
+}  // namespace
+}  // namespace covest
