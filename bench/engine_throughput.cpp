@@ -95,6 +95,8 @@ std::vector<std::string> benchmark_names(const Config& config) {
     names.push_back("parallel_apply/workers:" + std::to_string(workers) +
                     "/cells:" + std::to_string(kRingCells) + "/jobs:1");
   }
+  names.push_back("gc_under_load/reclaim:on" + suffix);
+  names.push_back("gc_under_load/reclaim:off" + suffix);
   return names;
 }
 
@@ -264,6 +266,25 @@ Measurement measure_parallel_apply(const Config& config, std::size_t workers,
   m.suites_per_sec =
       wall_ms > 0.0 ? static_cast<double>(results.size()) * 1000.0 / wall_ms
                     : 0.0;
+  return m;
+}
+
+/// The gc-under-load configuration: the sharded shared-manager workload
+/// with the concurrent collector forced on (a low collection threshold,
+/// so the estimation epochs genuinely pause/collect/reclaim mid-suite)
+/// against reclamation off (a threshold the tiny example models never
+/// reach). Results are byte-identical either way; the ratio is the
+/// whole epoch machinery — pause handshakes, retire batches, grace
+/// accounting and the memo-cache invalidation collections force.
+Measurement measure_gc_under_load(const Config& config, std::size_t workers,
+                                  bool reclaim, std::string name) {
+  // BddManager reads COVEST_GC_THRESHOLD at construction; sessions are
+  // created inside measure(), so the env var scopes the whole run.
+  ::setenv("COVEST_GC_THRESHOLD", reclaim ? "64" : "1000000000", 1);
+  Measurement m =
+      measure(config, workers, config.shards,
+              engine::ShardMode::kSharedManager, std::move(name));
+  ::unsetenv("COVEST_GC_THRESHOLD");
   return m;
 }
 
@@ -516,6 +537,25 @@ int main(int argc, char** argv) {
               "%.2fx\n",
               kRingCells, parallel_apply_speedup);
 
+  // GC under load: the same sharded workload with concurrent epoch
+  // collections forced on against reclamation effectively off. The
+  // ratio prices the resident-server hygiene — what a deployment pays
+  // per suite to keep a long-lived manager's pool flat.
+  Measurement gc_on = measure_gc_under_load(config, shard_workers, true,
+                                            names[name_index++]);
+  Measurement gc_off = measure_gc_under_load(config, shard_workers, false,
+                                             names[name_index++]);
+  for (const Measurement* m : {&gc_on, &gc_off}) {
+    std::printf("%s: %.1f suites/sec\n", m->name.c_str(), m->suites_per_sec);
+    measurements.push_back(*m);
+  }
+  const double gc_speedup =
+      gc_off.suites_per_sec > 0.0
+          ? gc_on.suites_per_sec / gc_off.suites_per_sec
+          : 0.0;
+  std::printf("reclaim on vs off at shards=%zu: %.2fx\n", config.shards,
+              gc_speedup);
+
   if (!config.out_path.empty()) {
     std::FILE* out = std::fopen(config.out_path.c_str(), "w");
     if (out == nullptr) {
@@ -560,8 +600,10 @@ int main(int argc, char** argv) {
                  "  \"partitioned_vs_monolithic_speedup\": %.3f,\n",
                  image_speedup);
     std::fprintf(out,
-                 "  \"parallel_apply_4_vs_1_speedup\": %.3f\n}\n",
+                 "  \"parallel_apply_4_vs_1_speedup\": %.3f,\n",
                  parallel_apply_speedup);
+    std::fprintf(out, "  \"gc_reclaim_on_vs_off_speedup\": %.3f\n}\n",
+                 gc_speedup);
     std::fclose(out);
     std::printf("wrote %s\n", config.out_path.c_str());
   }

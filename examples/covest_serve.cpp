@@ -94,6 +94,14 @@ void usage(std::FILE* to) {
       "  --drain-ms N\n"
       "               shutdown grace per in-flight job before it is\n"
       "               cancelled (default 30000)\n"
+      "  --gc-interval N\n"
+      "               maintenance cadence: after every N completed\n"
+      "               suites, drain in-flight jobs and run a full GC\n"
+      "               over the warm cache's parked sessions (default\n"
+      "               0 = no maintenance)\n"
+      "  --gc-sift    also sift-reorder parked sessions during\n"
+      "               maintenance (changes witness/trace bytes, so\n"
+      "               byte-stable deployments leave it off)\n"
       "  --stats      include timing/BDD statistics in result lines\n");
 }
 
@@ -143,6 +151,7 @@ int main(int argc, char** argv) {
     };
     std::size_t port = 0;
     std::size_t drain = 0;
+    std::size_t gc_interval = 0;
     if (std::strcmp(arg, "--host") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --host needs an address\n\n");
@@ -172,6 +181,10 @@ int main(int argc, char** argv) {
       // Parsed by count_flag.
     } else if (count_flag("--drain-ms", &drain, true)) {
       options.drain_ms = drain;
+    } else if (count_flag("--gc-interval", &gc_interval, true)) {
+      options.gc_interval = gc_interval;
+    } else if (std::strcmp(arg, "--gc-sift") == 0) {
+      options.gc_sift = true;
     } else if (std::strcmp(arg, "--table-mode") == 0) {
       const char* mode = i + 1 < argc ? argv[++i] : "";
       if (std::strcmp(mode, "lockfree") == 0) {

@@ -53,6 +53,10 @@ double BddManager::sat_count_rec(ThreadCtx& tc, NodeIndex slot) {
 
 double BddManager::sat_count(const Bdd& f, const std::vector<Var>& over) {
   assert(f.manager() == this);
+  // Inspection entries never trigger exclusive GC (allow_gc=false keeps
+  // historical collection timing), but in shared mode the gate is what
+  // keeps a concurrent collection from sweeping under the traversal.
+  OpGate gate(*this, ctx(), /*allow_gc=*/false);
 #ifndef NDEBUG
   for (Var v : support(f)) {
     assert(std::find(over.begin(), over.end(), v) != over.end() &&
@@ -93,6 +97,7 @@ double BddManager::sat_count(const Bdd& f, const std::vector<Var>& over) {
 
 std::vector<std::pair<Var, bool>> BddManager::sat_one(const Bdd& f) {
   assert(f.manager() == this);
+  OpGate gate(*this, ctx(), /*allow_gc=*/false);
   std::vector<std::pair<Var, bool>> result;
   // Walk with the complement parity folded into the edge, so terminal
   // tests against the canonical constants stay exact.
@@ -113,6 +118,7 @@ std::vector<std::pair<Var, bool>> BddManager::sat_one(const Bdd& f) {
 std::vector<std::pair<Var, bool>> BddManager::pick_minterm(
     const Bdd& f, const std::vector<Var>& over) {
   assert(f.manager() == this && !f.is_false());
+  OpGate gate(*this, ctx(), /*allow_gc=*/false);
   // Walk one satisfying path, then default every unconstrained variable
   // to false so the result is a deterministic full assignment.
   std::vector<std::pair<Var, bool>> path = sat_one(f);
@@ -130,6 +136,7 @@ std::vector<std::pair<Var, bool>> BddManager::pick_minterm(
 std::vector<std::vector<std::pair<Var, bool>>> BddManager::enumerate_minterms(
     const Bdd& f, const std::vector<Var>& over, std::size_t limit) {
   assert(f.manager() == this);
+  OpGate gate(*this, ctx(), /*allow_gc=*/false);
   std::vector<Var> by_level = over;
   std::sort(by_level.begin(), by_level.end(), [this](Var a, Var b) {
     return var_to_level_[a] < var_to_level_[b];
@@ -167,6 +174,7 @@ std::vector<std::vector<std::pair<Var, bool>>> BddManager::enumerate_minterms(
 
 bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
   assert(f.manager() == this);
+  OpGate gate(*this, ctx(), /*allow_gc=*/false);
   // Accumulate the complement parity along the path; the terminal node
   // denotes TRUE, so the final answer is the parity's inverse.
   NodeIndex e = f.index();
@@ -184,6 +192,7 @@ bool BddManager::eval(const Bdd& f, const std::vector<bool>& assignment) {
 std::vector<Var> BddManager::support(const Bdd& f) {
   assert(f.manager() == this);
   ThreadCtx& tc = ctx();
+  OpGate gate(*this, tc, /*allow_gc=*/false);
   // Stamp the support variables in the ctx's var_gen; no per-call
   // bitmaps.
   tc.var_gen.resize(num_vars(), 0);
@@ -209,12 +218,14 @@ std::vector<Var> BddManager::support(const Bdd& f) {
 std::size_t BddManager::node_count(const Bdd& f) {
   assert(f.manager() == this);
   ThreadCtx& tc = ctx();
+  OpGate gate(*this, tc, /*allow_gc=*/false);
   next_generation(tc);
   return mark_reachable(tc, f.index());
 }
 
 std::size_t BddManager::node_count(const std::vector<Bdd>& fs) {
   ThreadCtx& tc = ctx();
+  OpGate gate(*this, tc, /*allow_gc=*/false);
   next_generation(tc);
   std::size_t count = 0;
   for (const Bdd& f : fs) {

@@ -13,6 +13,7 @@ namespace covest::bdd {
 
 void BddManager::write_dot(std::ostream& os, const Bdd& f,
                            const std::string& label) {
+  OpGate gate(*this, ctx(), /*allow_gc=*/false);
   os << "digraph bdd {\n";
   os << "  label=\"" << label << "\";\n";
   os << "  node [shape=circle];\n";

@@ -28,23 +28,6 @@
 
 namespace covest::bdd {
 
-namespace {
-
-// Marks the manager as busy for the duration of a (possibly re-entrant)
-// public operation; garbage collection only triggers between operations,
-// so unreferenced intermediate results created during recursion are safe.
-class OperationGuard {
- public:
-  OperationGuard(bool& flag) : flag_(flag), was_(flag) { flag_ = true; }
-  ~OperationGuard() { flag_ = was_; }
-
- private:
-  bool& flag_;
-  bool was_;
-};
-
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Binary apply: AND (OR via De Morgan) and XOR
 // ---------------------------------------------------------------------------
@@ -114,24 +97,21 @@ NodeIndex BddManager::xor_rec(NodeIndex f, NodeIndex g) {
 
 Bdd BddManager::apply_and(const Bdd& f, const Bdd& g) {
   assert(f.manager() == this && g.manager() == this);
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this, par_enabled() ? par_and_rec(f.index(), g.index())
                                  : and_rec(f.index(), g.index()));
 }
 
 Bdd BddManager::apply_or(const Bdd& f, const Bdd& g) {
   assert(f.manager() == this && g.manager() == this);
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this, par_enabled() ? par_or_rec(f.index(), g.index())
                                  : or_rec(f.index(), g.index()));
 }
 
 Bdd BddManager::apply_xor(const Bdd& f, const Bdd& g) {
   assert(f.manager() == this && g.manager() == this);
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this, par_enabled() ? par_xor_rec(f.index(), g.index())
                                  : xor_rec(f.index(), g.index()));
 }
@@ -207,8 +187,7 @@ NodeIndex BddManager::ite_rec(NodeIndex f, NodeIndex g, NodeIndex h) {
 
 Bdd BddManager::apply_ite(const Bdd& f, const Bdd& g, const Bdd& h) {
   assert(f.manager() == this && g.manager() == this && h.manager() == this);
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this, par_enabled()
                        ? par_ite_rec(f.index(), g.index(), h.index())
                        : ite_rec(f.index(), g.index(), h.index()));
@@ -254,16 +233,14 @@ NodeIndex BddManager::exists_rec(NodeIndex f, NodeIndex cube) {
 
 Bdd BddManager::exists(const Bdd& f, const Bdd& cube) {
   assert(f.manager() == this && cube.manager() == this);
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this, par_enabled() ? par_exists_rec(f.index(), cube.index())
                                  : exists_rec(f.index(), cube.index()));
 }
 
 Bdd BddManager::forall(const Bdd& f, const Bdd& cube) {
   assert(f.manager() == this && cube.manager() == this);
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   // Duality: forall(f) = !exists(!f); shares the kOpExists cache.
   return Bdd(this,
              par_enabled()
@@ -321,8 +298,7 @@ NodeIndex BddManager::and_exists_rec(NodeIndex f, NodeIndex g, NodeIndex cube) {
 
 Bdd BddManager::and_exists(const Bdd& f, const Bdd& g, const Bdd& cube) {
   assert(f.manager() == this && g.manager() == this && cube.manager() == this);
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this,
              par_enabled()
                  ? par_and_exists_rec(f.index(), g.index(), cube.index())
@@ -367,14 +343,12 @@ NodeIndex BddManager::compose_rec(NodeIndex f, Var v, NodeIndex g,
 
 Bdd BddManager::compose(const Bdd& f, Var v, const Bdd& g) {
   assert(f.manager() == this && g.manager() == this);
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this, compose_rec(f.index(), v, g.index(), var_to_level_[v]));
 }
 
 Bdd BddManager::cofactor(const Bdd& f, Var v, bool value) {
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this, compose_rec(f.index(), v,
                                value ? kTrueIndex : kFalseIndex,
                                var_to_level_[v]));
@@ -422,8 +396,7 @@ NodeIndex BddManager::simplify_rec(NodeIndex f, NodeIndex care) {
 Bdd BddManager::simplify(const Bdd& f, const Bdd& care) {
   assert(f.manager() == this && care.manager() == this);
   assert(!care.is_false());
-  maybe_gc();
-  OperationGuard guard(ctx().in_operation);
+  OpGate gate(*this, ctx());
   return Bdd(this, simplify_rec(f.index(), care.index()));
 }
 
@@ -463,9 +436,8 @@ NodeIndex BddManager::permute_rec(ThreadCtx& tc, NodeIndex f,
 
 Bdd BddManager::permute(const Bdd& f, const std::vector<Var>& perm) {
   assert(f.manager() == this);
-  maybe_gc();
   ThreadCtx& tc = ctx();
-  OperationGuard guard(tc.in_operation);
+  OpGate gate(*this, tc);
   next_generation(tc);
   return Bdd(this, permute_rec(tc, f.index(), perm));
 }

@@ -211,6 +211,14 @@ void ParallelPool::helper_main() {
   } catch (...) {
     return;  // Registration capacity raced away: fewer thieves, still correct.
   }
+  // Helpers never pass through an operation gate (they execute internal
+  // task frames, not public entries), so their seen_epoch would stall
+  // reclamation grace periods forever. Passive marking excludes them:
+  // their quiescence is already covered by the client's op_depth — the
+  // fully-strict join discipline means a task's kDone release store is
+  // the helper's last manager access, and the in-operation joiner waits
+  // for it before the client ever reaches an operation boundary.
+  mgr_.mark_thread_passive();
   covest::RunGovernor::Scope scope(governor_);
   const std::size_t self = slot_index();
   unsigned spins = 1;

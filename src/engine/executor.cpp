@@ -118,7 +118,7 @@ void validate_request(const CoverageRequest& request, const model::Model& m,
 /// recorded with the parked entry.
 struct LeaseReturn {
   SessionCache* cache = nullptr;
-  std::uint64_t key = 0;
+  SessionKey key;
   std::shared_ptr<Session>* session = nullptr;
   ~LeaseReturn() {
     if (cache == nullptr || session == nullptr || *session == nullptr) {
@@ -189,7 +189,7 @@ SuiteResult run_shard(JobState& job, std::size_t shard) {
     // as do in-memory models (no stable bytes to key on).
     std::shared_ptr<Session> session;
     std::optional<model::Model> parsed;
-    std::uint64_t cache_key = 0;
+    SessionKey cache_key;
     const bool leasable = job.cache != nullptr && !replicated &&
                           !job.request.model.has_value();
     if (leasable) {
@@ -510,6 +510,12 @@ struct Executor::Impl {
   std::condition_variable space_cv;
   std::deque<Task> queue;
   bool stopping = false;
+  /// Maintenance window: while set, workers stop popping tasks; the
+  /// maintainer waits on `idle_cv` for `active_tasks` to hit zero and
+  /// then owns every parked session (no leases are in flight).
+  bool maintenance = false;
+  std::size_t active_tasks = 0;
+  std::condition_variable idle_cv;
   /// Immutable after construction (read without `mu`).
   std::size_t max_queue_depth = 0;
   AdmissionPolicy admission = AdmissionPolicy::kBlock;
@@ -561,17 +567,26 @@ void Executor::worker_loop() {
     {
       std::unique_lock<std::mutex> lock(impl_->mu);
       impl_->cv.wait(lock, [this] {
-        return impl_->stopping || !impl_->queue.empty();
+        return impl_->stopping ||
+               (!impl_->queue.empty() && !impl_->maintenance);
       });
       // Drain semantics: accepted work still runs during shutdown.
       if (impl_->queue.empty()) return;
       task = std::move(impl_->queue.front());
       impl_->queue.pop_front();
+      ++impl_->active_tasks;
     }
     impl_->space_cv.notify_all();  // A bounded queue just gained room.
 
     JobState& job = *task.job;
     SuiteResult shard_result = run_shard(job, task.shard);
+    {
+      // The lease (if any) was returned inside run_shard; a waiting
+      // maintenance window may proceed once the last task lands here.
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      --impl_->active_tasks;
+    }
+    impl_->idle_cv.notify_all();
 
     bool finished = false;
     {
@@ -724,6 +739,24 @@ std::size_t Executor::cancel_all() {
     }
   }
   return reached;
+}
+
+MaintenanceStats Executor::maintenance(bool sift) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->maintenance = true;
+  // Drain: workers stop popping once the flag is up; wait for the tasks
+  // already in flight to return their leases.
+  impl_->idle_cv.wait(lock, [this] { return impl_->active_tasks == 0; });
+  MaintenanceStats stats;
+  if (impl_->session_cache) {
+    // Holding `mu` for the pass is the point: submitters and workers
+    // stay parked, so every cached session is reachable and quiescent.
+    stats = impl_->session_cache->maintain(sift);
+  }
+  impl_->maintenance = false;
+  lock.unlock();
+  impl_->cv.notify_all();
+  return stats;
 }
 
 }  // namespace covest::engine

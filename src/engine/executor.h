@@ -54,10 +54,9 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/session_cache.h"
 
 namespace covest::engine {
-
-class SessionCache;
 
 namespace detail {
 struct JobState;
@@ -227,6 +226,16 @@ class Executor {
   /// (queued jobs complete as cancelled without running). Returns the
   /// number of jobs the cancellation reached.
   std::size_t cancel_all();
+
+  /// Stop-the-world maintenance window: stops handing queued tasks to
+  /// workers, waits for every in-flight task to finish, then runs a
+  /// full exclusive GC (and, when `sift` is set, a variable reorder —
+  /// which changes witness/trace bytes, so byte-stable servers keep it
+  /// off) over every session parked in the warm cache, and resumes.
+  /// Queued jobs are not lost — they run as soon as the window closes;
+  /// submitters block for the duration. No-op counters when the
+  /// executor has no session cache. One caller at a time.
+  MaintenanceStats maintenance(bool sift = false);
 
  private:
   struct Impl;

@@ -147,6 +147,14 @@ void write_phase(JsonWriter& w, const PhaseStats& phase) {
     w.key("largest_cluster");
     w.number(static_cast<std::uint64_t>(phase.largest_cluster));
   }
+  if (phase.shared_gc_runs != 0) {  // Only reclaiming shared runs carry them.
+    w.key("shared_gc_runs");
+    w.number(static_cast<std::uint64_t>(phase.shared_gc_runs));
+    w.key("retired_nodes");
+    w.number(static_cast<std::uint64_t>(phase.retired_nodes));
+    w.key("reclaimed_nodes");
+    w.number(static_cast<std::uint64_t>(phase.reclaimed_nodes));
+  }
   w.end_object();
 }
 

@@ -31,14 +31,26 @@ void destroy_here(std::shared_ptr<Session>&& session) {
 
 }  // namespace
 
+bool SessionKey::matches(const SessionKey& other) const {
+  // Hash first: it almost always decides, and the exact compare after
+  // it is what turns a collision into a miss instead of a wrong model.
+  return hash == other.hash && max_live_nodes == other.max_live_nodes &&
+         options.restrict_to_fair == other.options.restrict_to_fair &&
+         options.exclude_dontcares == other.options.exclude_dontcares &&
+         options.require_holds == other.options.require_holds &&
+         options.image_strategy == other.options.image_strategy &&
+         options.parallel_apply == other.options.parallel_apply &&
+         source == other.source;
+}
+
 SessionCache::SessionCache(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity), state_(new State) {}
 
 SessionCache::~SessionCache() { clear(); }
 
-std::uint64_t SessionCache::key_of(const std::string& source,
-                                   const core::CoverageOptions& options,
-                                   std::size_t max_live_nodes) {
+SessionKey SessionCache::key_of(std::string source,
+                                const core::CoverageOptions& options,
+                                std::size_t max_live_nodes) {
   std::uint64_t h = 0x9e3779b97f4a7c15ull;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
@@ -54,16 +66,22 @@ std::uint64_t SessionCache::key_of(const std::string& source,
   // shape on a session with the same shape.
   mix(options.parallel_apply);
   mix(max_live_nodes);
-  return h;
+
+  SessionKey key;
+  key.hash = h;
+  key.source = std::move(source);
+  key.options = options;
+  key.max_live_nodes = max_live_nodes;
+  return key;
 }
 
-std::shared_ptr<Session> SessionCache::acquire(std::uint64_t key) {
+std::shared_ptr<Session> SessionCache::acquire(const SessionKey& key) {
   std::shared_ptr<Session> session;
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     for (auto it = state_->entries.begin(); it != state_->entries.end();
          ++it) {
-      if (it->key == key) {
+      if (it->key.matches(key)) {
         session = std::move(it->session);
         state_->entries.erase(it);
         ++state_->stats.hits;
@@ -78,14 +96,15 @@ std::shared_ptr<Session> SessionCache::acquire(std::uint64_t key) {
   return session;
 }
 
-void SessionCache::release(std::uint64_t key, std::shared_ptr<Session> session,
+void SessionCache::release(const SessionKey& key,
+                           std::shared_ptr<Session> session,
                            std::size_t live_nodes) {
   if (!session) return;
   std::shared_ptr<Session> doomed;  ///< Destroyed outside the lock.
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     for (const Entry& e : state_->entries) {
-      if (e.key == key) {
+      if (e.key.matches(key)) {
         // A concurrent miss elaborated a duplicate; the incumbent (with
         // its warmer caches) wins and the younger copy is dropped.
         ++state_->stats.discards;
@@ -104,6 +123,24 @@ void SessionCache::release(std::uint64_t key, std::shared_ptr<Session> session,
     }
   }
   if (doomed) destroy_here(std::move(doomed));
+}
+
+MaintenanceStats SessionCache::maintain(bool sift) {
+  MaintenanceStats out;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  for (Entry& e : state_->entries) {
+    bdd::BddManager& mgr = e.session->fsm().mgr();
+    // The mutex serializes with the releasing worker, so the rebind
+    // observes the parked manager's final state.
+    mgr.rebind_to_current_thread();
+    out.live_nodes_before += e.live_nodes;
+    mgr.gc();
+    if (sift) mgr.reorder_sift();
+    e.live_nodes = mgr.live_node_count();
+    out.live_nodes_after += e.live_nodes;
+    ++out.sessions;
+  }
+  return out;
 }
 
 void SessionCache::clear() {

@@ -2,10 +2,12 @@
 // parse/elaborate/verify reuse (Session::run's verified-suite record is
 // the per-suite half).
 //
-// A `SessionCache` parks elaborated `Session`s between jobs, keyed by a
-// structural hash of the *raw model source bytes* plus everything that
-// shapes elaboration: the `core::CoverageOptions` policy bits and the
-// manager's node budget. A repeat request whose source hashes to a
+// A `SessionCache` parks elaborated `Session`s between jobs, keyed by
+// the *raw model source bytes* plus everything that shapes elaboration:
+// the `core::CoverageOptions` policy bits and the manager's node
+// budget. A 64-bit structural hash accelerates the scan, but a hit
+// requires the exact inputs to match — a hash collision misses instead
+// of serving the wrong model. A repeat request whose source matches a
 // parked session skips parse and elaborate entirely; if its suite also
 // matches the session's verified-suite record, verification is skipped
 // too and the whole request reduces to (cached) estimation. Keying on
@@ -33,6 +35,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/coverage.h"
@@ -40,6 +43,28 @@
 namespace covest::engine {
 
 class Session;
+
+/// A cache key: the 64-bit structural hash for fast scanning plus the
+/// exact inputs it was derived from. Lookups compare the hash first and
+/// then the exact fields — a `std::hash` collision between two different
+/// model sources must miss, never serve the wrong elaborated model.
+/// `hash` is writable as a test seam (force two keys onto one value).
+struct SessionKey {
+  std::uint64_t hash = 0;
+  std::string source;
+  core::CoverageOptions options;
+  std::size_t max_live_nodes = 0;
+
+  /// Exact equality: hash AND every elaboration-shaping input.
+  bool matches(const SessionKey& other) const;
+};
+
+/// What one `maintain` pass did, summed over the parked sessions.
+struct MaintenanceStats {
+  std::size_t sessions = 0;          ///< Parked sessions visited.
+  std::size_t live_nodes_before = 0;  ///< As recorded at release time.
+  std::size_t live_nodes_after = 0;   ///< Re-measured after GC (+sift).
+};
 
 /// Point-in-time counters of a `SessionCache`. Hits + misses equal the
 /// `acquire` calls. Every `release` either parks its session
@@ -68,24 +93,37 @@ class SessionCache {
   SessionCache& operator=(const SessionCache&) = delete;
 
   /// The cache key of a request: the raw model source bytes plus the
-  /// elaboration-shaping knobs. Two requests with equal keys elaborate
-  /// byte-identical sessions.
-  static std::uint64_t key_of(const std::string& source,
-                              const core::CoverageOptions& options,
-                              std::size_t max_live_nodes);
+  /// elaboration-shaping knobs, with the structural hash precomputed.
+  /// Two requests with matching keys elaborate byte-identical sessions.
+  static SessionKey key_of(std::string source,
+                           const core::CoverageOptions& options,
+                           std::size_t max_live_nodes);
 
-  /// Takes the parked session for `key` out of the cache (exclusive
-  /// lease), or returns nullptr on a miss. The session's manager is
-  /// rebound to the calling thread before it is returned.
-  std::shared_ptr<Session> acquire(std::uint64_t key);
+  /// Takes the parked session matching `key` (hash and exact inputs)
+  /// out of the cache (exclusive lease), or returns nullptr on a miss.
+  /// The session's manager is rebound to the calling thread before it
+  /// is returned.
+  std::shared_ptr<Session> acquire(const SessionKey& key);
 
   /// Parks `session` under `key`. `live_nodes` is the manager's node
   /// count as measured by the releasing (owning) thread — the cache
   /// must not touch a parked manager, so occupancy is recorded here.
   /// A duplicate key discards `session`; a full cache evicts its
   /// oldest-released entry.
-  void release(std::uint64_t key, std::shared_ptr<Session> session,
+  void release(const SessionKey& key, std::shared_ptr<Session> session,
                std::size_t live_nodes);
+
+  /// Runs a full exclusive GC (and, when `sift` is set, a variable
+  /// reorder) on every parked session, rebinding each manager to the
+  /// calling thread. The caller must guarantee no concurrent
+  /// acquire/release holds a lease it intends to return mid-pass — the
+  /// executor's maintenance window drains in-flight jobs first. Parked
+  /// sessions are in exclusive mode (shared epochs never outlive a
+  /// run), so plain `gc()`/`reorder_sift()` apply. Sifting preserves
+  /// node slots and live handles (see bdd_reorder.cpp) but changes the
+  /// variable order — and with it witness/trace bytes — so byte-stable
+  /// servers keep it off.
+  MaintenanceStats maintain(bool sift);
 
   /// Destroys every parked session (on the calling thread).
   void clear();
@@ -95,7 +133,7 @@ class SessionCache {
 
  private:
   struct Entry {
-    std::uint64_t key = 0;
+    SessionKey key;
     std::shared_ptr<Session> session;
     std::size_t live_nodes = 0;
   };

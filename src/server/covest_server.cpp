@@ -8,7 +8,9 @@
 
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <iomanip>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -104,6 +106,20 @@ struct CovestServer::Impl {
   std::atomic<std::size_t> conn_active{0};
   std::atomic<bool> any_error{false}, any_failure{false}, any_limited{false};
 
+  // -- Maintenance window (gc_interval > 0) ---------------------------------
+  /// Background thread: every `gc_interval` completed suites it takes
+  /// the executor's stop-the-world window and GCs the parked sessions.
+  /// Started by `start`, woken by `record`, joined by the destructor
+  /// (request_shutdown stays async-signal-safe — it never notifies).
+  std::thread gc_thread;
+  std::mutex gc_mu;
+  std::condition_variable gc_cv;
+  std::uint64_t last_maintained = 0;  ///< Suite total at the last pass.
+  std::atomic<std::uint64_t> maintenance_runs{0};
+  std::atomic<std::size_t> maintenance_sessions{0};
+  std::atomic<std::size_t> maintenance_live_before{0};
+  std::atomic<std::size_t> maintenance_live_after{0};
+
   ~Impl() {
     if (listen_fd >= 0) ::close(listen_fd);
     if (wake_rd >= 0) ::close(wake_rd);
@@ -141,14 +157,55 @@ struct CovestServer::Impl {
         r.status == engine::ResultStatus::kAdmissionRejected) {
       any_limited = true;
     }
+    if (options.gc_interval > 0) gc_cv.notify_one();
+  }
+
+  std::uint64_t suites_total() const {
+    return n_ok + n_cancelled + n_deadline + n_exhausted + n_admission +
+           n_error;
+  }
+
+  void maintenance_loop() {
+    std::unique_lock<std::mutex> lock(gc_mu);
+    for (;;) {
+      // The timed backstop covers the signal-handler shutdown path:
+      // request_shutdown only stores + writes the pipe (it must stay
+      // async-signal-safe), so this thread re-checks on a coarse tick.
+      gc_cv.wait_for(lock, std::chrono::milliseconds(200), [this] {
+        return shutting_down.load(std::memory_order_relaxed) ||
+               suites_total() - last_maintained >= options.gc_interval;
+      });
+      if (shutting_down.load(std::memory_order_relaxed)) return;
+      if (suites_total() - last_maintained < options.gc_interval) continue;
+      last_maintained = suites_total();
+      lock.unlock();
+      const engine::MaintenanceStats ms =
+          executor->maintenance(options.gc_sift);
+      ++maintenance_runs;
+      maintenance_sessions.store(ms.sessions, std::memory_order_relaxed);
+      maintenance_live_before.store(ms.live_nodes_before,
+                                    std::memory_order_relaxed);
+      maintenance_live_after.store(ms.live_nodes_after,
+                                   std::memory_order_relaxed);
+      lock.lock();
+    }
   }
 
   std::string metrics_line() const {
-    const double uptime = ms_since(started_at);
+    // uptime_ms is an integer and per_sec fixed-precision: the default
+    // 6-significant-digit ostringstream formatting flips a double
+    // uptime into scientific notation after ~16.7 minutes (1e+06 ms),
+    // corrupting the metrics line for any numeric consumer.
+    const std::uint64_t uptime =
+        static_cast<std::uint64_t>(ms_since(started_at));
     const std::uint64_t total = n_ok + n_cancelled + n_deadline + n_exhausted +
                                 n_admission + n_error;
-    const double per_sec = uptime > 0.0 ? 1000.0 * total / uptime : 0.0;
+    const double per_sec =
+        uptime > 0 ? 1000.0 * static_cast<double>(total) /
+                         static_cast<double>(uptime)
+                   : 0.0;
     std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
     os << "{\"metrics\":{";
     os << "\"uptime_ms\":" << uptime;
     os << ",\"queue_depth\":" << executor->queue_depth();
@@ -168,6 +225,13 @@ struct CovestServer::Impl {
          << ",\"misses\":" << cs.misses << ",\"insertions\":" << cs.insertions
          << ",\"evictions\":" << cs.evictions << ",\"discards\":" << cs.discards
          << ",\"live_nodes\":" << cs.live_nodes << "}";
+    }
+    if (options.gc_interval > 0) {
+      os << ",\"maintenance\":{\"interval\":" << options.gc_interval
+         << ",\"runs\":" << maintenance_runs
+         << ",\"sessions\":" << maintenance_sessions
+         << ",\"live_nodes_before\":" << maintenance_live_before
+         << ",\"live_nodes_after\":" << maintenance_live_after << "}";
     }
     os << "}}\n";
     return os.str();
@@ -327,7 +391,13 @@ CovestServer::CovestServer(ServerOptions options) : impl_(new Impl) {
   impl_->options = std::move(options);
 }
 
-CovestServer::~CovestServer() = default;
+CovestServer::~CovestServer() {
+  if (impl_->gc_thread.joinable()) {
+    impl_->shutting_down.store(true, std::memory_order_relaxed);
+    impl_->gc_cv.notify_all();  // Normal context here: notify is safe.
+    impl_->gc_thread.join();
+  }
+}
 
 bool CovestServer::start(std::string* error) {
   const auto fail = [error](const std::string& what) {
@@ -380,6 +450,9 @@ bool CovestServer::start(std::string* error) {
       std::make_unique<engine::Executor>(std::move(executor_options));
   impl_->window = 2 * impl_->executor->worker_count();
   impl_->started_at = Clock::now();
+  if (impl_->options.gc_interval > 0) {
+    impl_->gc_thread = std::thread([this] { impl_->maintenance_loop(); });
+  }
   return true;
 }
 

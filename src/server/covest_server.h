@@ -73,6 +73,17 @@ struct ServerOptions {
   /// Include timing/BDD stats in result lines (off keeps the wire
   /// deterministic — the covest_batch diff contract).
   bool stats = false;
+  /// Maintenance window cadence: after every `gc_interval` completed
+  /// suite results, a background thread takes the executor's
+  /// stop-the-world window (drain in-flight jobs, full GC on every
+  /// parked session, resume) so the warm cache's managers stop
+  /// accumulating garbage forever. 0 disables maintenance.
+  std::uint64_t gc_interval = 0;
+  /// Also sift-reorder parked sessions during maintenance. Off by
+  /// default: sifting changes the variable order and with it
+  /// witness/trace bytes, breaking the byte-identical warm-replay
+  /// contract.
+  bool gc_sift = false;
 };
 
 class CovestServer {

@@ -6,6 +6,7 @@
 // and the SIGTERM drain contract.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <fstream>
 #include <string>
@@ -171,6 +172,46 @@ TEST(CovestServeTest, WarmRepeatSkipsElaborateAndVerifyPhases) {
   EXPECT_EQ(server.wait(), 0);
 }
 
+TEST(CovestServeTest, MaintenanceWindowRunsAndKeepsRepliesByteIdentical) {
+  // --gc-interval 1: after every completed suite the background thread
+  // takes the executor's stop-the-world window and GCs the parked
+  // sessions. Replies before/after a window must stay byte-identical
+  // (maintenance reclaims garbage, never live structure).
+  ServerProcess server;
+  ASSERT_TRUE(server.start(
+      COVEST_SERVE_PATH,
+      {"--port", "0", "--jobs", "2", "--gc-interval", "1"}));
+
+  TcpClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+  ASSERT_TRUE(client.send_line(request_line("arbiter.cov")));
+  const std::string cold = client.recv_line();
+  ASSERT_FALSE(cold.empty());
+
+  // The window is asynchronous; poll metrics until it has run.
+  double runs = 0.0;
+  for (int i = 0; i < 250 && runs < 1.0; ++i) {
+    ASSERT_TRUE(client.send_line("{\"op\": \"metrics\"}"));
+    const engine::json::Value m = engine::json::parse(client.recv_line());
+    runs = num_at(m, {"metrics", "maintenance", "runs"});
+    if (runs < 1.0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(runs, 1.0);
+
+  // A warm replay through a GC'd session is still byte-identical.
+  ASSERT_TRUE(client.send_line(request_line("arbiter.cov")));
+  EXPECT_EQ(client.recv_line(), cold);
+
+  ASSERT_TRUE(client.send_line("{\"op\": \"metrics\"}"));
+  const engine::json::Value m = engine::json::parse(client.recv_line());
+  EXPECT_EQ(num_at(m, {"metrics", "maintenance", "interval"}), 1.0);
+  EXPECT_GE(num_at(m, {"metrics", "maintenance", "sessions"}), 1.0);
+  EXPECT_GE(num_at(m, {"metrics", "maintenance", "live_nodes_after"}), 1.0);
+
+  server.signal(SIGTERM);
+  EXPECT_EQ(server.wait(), 0);
+}
+
 // --------------------------------------------------------------------------
 // Metrics
 // --------------------------------------------------------------------------
@@ -191,7 +232,8 @@ TEST(CovestServeTest, MetricsLinesAreImmediateMonotonicAndConsistent) {
   ASSERT_TRUE(client.send_line(request_line("counter.cov")));
   ASSERT_FALSE(client.recv_line().empty());
   ASSERT_TRUE(client.send_line("{\"op\": \"metrics\"}"));
-  const engine::json::Value m1 = engine::json::parse(client.recv_line());
+  const std::string raw1 = client.recv_line();
+  const engine::json::Value m1 = engine::json::parse(raw1);
   EXPECT_EQ(num_at(m1, {"metrics", "suites", "total"}), 1.0);
   EXPECT_EQ(num_at(m1, {"metrics", "suites", "ok"}), 1.0);
   EXPECT_EQ(num_at(m1, {"metrics", "cache", "misses"}), 1.0);
@@ -200,6 +242,27 @@ TEST(CovestServeTest, MetricsLinesAreImmediateMonotonicAndConsistent) {
   EXPECT_EQ(num_at(m1, {"metrics", "queue_depth"}), 0.0);
   EXPECT_GT(num_at(m1, {"metrics", "suites", "per_sec"}), 0.0);
   EXPECT_GT(num_at(m1, {"metrics", "cache", "live_nodes"}), 0.0);
+
+  // Format contract on the raw wire bytes: uptime_ms is a plain
+  // integer — a default-precision ostringstream used to flip it into
+  // scientific notation ("1.00735e+06") once the server had been up
+  // ~16.7 minutes, breaking naive metric scrapers — and the rates are
+  // fixed-point, never exponent-form.
+  const auto field_text = [&raw1](const char* name) {
+    const std::string tag = std::string("\"") + name + "\":";
+    const std::size_t at = raw1.find(tag);
+    EXPECT_NE(at, std::string::npos) << name << " missing in " << raw1;
+    if (at == std::string::npos) return std::string();
+    std::size_t end = at + tag.size();
+    while (end < raw1.size() && raw1[end] != ',' && raw1[end] != '}') ++end;
+    return raw1.substr(at + tag.size(), end - (at + tag.size()));
+  };
+  const std::string uptime_text = field_text("uptime_ms");
+  EXPECT_EQ(uptime_text.find_first_not_of("0123456789"), std::string::npos)
+      << "uptime_ms not a plain integer: " << uptime_text;
+  const std::string per_sec_text = field_text("per_sec");
+  EXPECT_EQ(per_sec_text.find_first_of("eE+"), std::string::npos)
+      << "per_sec not fixed-point: " << per_sec_text;
 
   ASSERT_TRUE(client.send_line(request_line("counter.cov")));
   ASSERT_FALSE(client.recv_line().empty());

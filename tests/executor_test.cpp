@@ -475,6 +475,51 @@ TEST(ExecutorCacheTest, ElaborationOptionsShapeTheCacheKey) {
   EXPECT_EQ(cache->stats().entries, 2u);
 }
 
+TEST(ExecutorCacheTest, HashCollisionMissesInsteadOfServingTheWrongModel) {
+  // Two different model sources forced onto one 64-bit hash via the
+  // SessionKey test seam. Before keys carried their exact inputs the
+  // cache matched on the hash alone, so the collision below leased
+  // model A's elaborated session to a model-B request.
+  const std::string source_a = R"(
+MODULE model_a;
+VAR   x : bool;
+IVAR  t : bool;
+INIT  x := false;
+NEXT  x := t ? !x : x;
+SPEC AG (x & !t -> AX x) OBSERVE x;
+)";
+  const std::string source_b = R"(
+MODULE model_b;
+VAR   y : bool;
+IVAR  u : bool;
+INIT  y := true;
+NEXT  y := u ? y : !y;
+SPEC AG (y & u -> AX y) OBSERVE y;
+)";
+  engine::SessionKey key_a = engine::SessionCache::key_of(source_a, {}, 0);
+  engine::SessionKey key_b = engine::SessionCache::key_of(source_b, {}, 0);
+  ASSERT_NE(key_a.hash, key_b.hash);  // Honest keys differ...
+  key_b.hash = key_a.hash;            // ...until the seam makes them collide.
+  EXPECT_FALSE(key_a.matches(key_b));
+  EXPECT_FALSE(key_b.matches(key_a));
+  EXPECT_TRUE(key_a.matches(key_a));
+
+  engine::SessionCache cache(4);
+  auto parked =
+      std::make_shared<engine::Session>(model::parse_model(source_a));
+  cache.release(key_a, std::move(parked), 1);
+
+  // The colliding key must miss (and count as a miss), not lease A.
+  EXPECT_EQ(cache.acquire(key_b), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // The honest key still hits and gets the right model back.
+  std::shared_ptr<engine::Session> hit = cache.acquire(key_a);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->model().name(), "model_a");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 // --------------------------------------------------------------------------
 // Thread-affinity guard
 // --------------------------------------------------------------------------
